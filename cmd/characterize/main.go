@@ -1,0 +1,73 @@
+// Command characterize runs CPU workloads through the Pin-equivalent
+// instrumentation pipeline and prints their Bienia-style profiles:
+// instruction mix, working-set miss rates, sharing behavior and
+// footprints.
+//
+// Usage:
+//
+//	characterize                 # all 24 workloads
+//	characterize -suite rodinia  # one suite (rodinia | parsec)
+//	characterize -w srad,canneal # specific workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	suite := flag.String("suite", "", "restrict to one suite: rodinia or parsec")
+	names := flag.String("w", "", "comma-separated workload names")
+	flag.Parse()
+
+	var ws []*workloads.Workload
+	switch {
+	case *names != "":
+		for _, n := range strings.Split(*names, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", n)
+				os.Exit(2)
+			}
+			ws = append(ws, w)
+		}
+	case *suite == "rodinia":
+		ws = workloads.Rodinia()
+	case *suite == "parsec":
+		ws = workloads.Parsec()
+	case *suite == "":
+		ws = workloads.All()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+
+	headers := []string{"Workload", "ALU", "Branch", "Load", "Store",
+		fmt.Sprintf("Miss@%dkB", 4096), "SharedLines", "SharedAcc", "InstrBlocks", "DataPages"}
+	var rows [][]string
+	for _, w := range ws {
+		p := core.CharacterizeCPU(w)
+		rows = append(rows, []string{
+			p.Label(),
+			fmt.Sprintf("%.2f", p.ALU),
+			fmt.Sprintf("%.2f", p.Branch),
+			fmt.Sprintf("%.2f", p.Load),
+			fmt.Sprintf("%.2f", p.Store),
+			fmt.Sprintf("%.4f", p.MissRate4MB()),
+			fmt.Sprintf("%.3f", p.SharedLineFrac),
+			fmt.Sprintf("%.3f", p.SharedAccessFrac),
+			fmt.Sprint(p.InstrBlocks),
+			fmt.Sprint(p.DataPages),
+		})
+	}
+	fmt.Println(report.Table(headers, rows))
+	fmt.Printf("methodology: %d threads, shared 4-way caches %v kB, %d B lines (Bienia et al.)\n",
+		workloads.Threads, cachesim.DefaultSizesKB, cachesim.LineSize)
+}

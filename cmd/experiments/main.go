@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments              # run everything, in paper order
+//	experiments -only fig1   # run one experiment (comma-separated ids)
+//	experiments -list        # list experiment ids
+//	experiments -nocheck     # skip functional validation of GPU kernels
+//	experiments -out results # also write one <id>.txt per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
+	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []*experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", id, experiments.IDs())
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	ctx := experiments.NewContext()
+	ctx.Check = !*nocheck
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s  (%s)\n", res.ID, res.Title, time.Since(start).Truncate(time.Millisecond))
+		fmt.Printf("==================================================================\n")
+		fmt.Println(res.Text)
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			var buf strings.Builder
+			fmt.Fprintf(&buf, "%s — %s\n\n%s\n", res.ID, res.Title, res.Text)
+			for _, n := range res.Notes {
+				fmt.Fprintf(&buf, "note: %s\n", n)
+			}
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

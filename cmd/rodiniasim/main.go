@@ -1,0 +1,89 @@
+// Command rodiniasim runs Rodinia benchmarks on the GPU timing simulator
+// and prints their characterization statistics.
+//
+// Usage:
+//
+//	rodiniasim                      # all benchmarks on the base config
+//	rodiniasim -bench SRAD,BFS      # a subset
+//	rodiniasim -config gtx480-l1    # base | base8 | gtx280 | gtx480-shared | gtx480-l1
+//	rodiniasim -nocheck             # skip functional validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+)
+
+func configByName(name string) (gpusim.Config, error) {
+	switch name {
+	case "base":
+		return gpusim.Base(), nil
+	case "base8":
+		return gpusim.Base8SM(), nil
+	case "gtx280":
+		return gpusim.GTX280(), nil
+	case "gtx480-shared":
+		return gpusim.GTX480(gpusim.SharedBias), nil
+	case "gtx480-l1":
+		return gpusim.GTX480(gpusim.L1Bias), nil
+	}
+	return gpusim.Config{}, fmt.Errorf("unknown config %q (want base, base8, gtx280, gtx480-shared, gtx480-l1)", name)
+}
+
+func main() {
+	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
+	cfgName := flag.String("config", "base", "GPU configuration")
+	nocheck := flag.Bool("nocheck", false, "skip functional validation against the CPU reference")
+	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
+	flag.Parse()
+
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var benches []*kernels.Benchmark
+	if *benchList == "" {
+		benches = kernels.All()
+	} else {
+		for _, ab := range strings.Split(*benchList, ",") {
+			b, ok := kernels.ByAbbrev(strings.TrimSpace(ab))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", ab)
+				os.Exit(2)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	for _, b := range benches {
+		st, err := core.CharacterizeGPU(b, cfg, !*nocheck)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Abbrev, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s (%s, %s) ---\n", b.Name, b.Dwarf, b.SimSize)
+		fmt.Println(st)
+		if *perKernel {
+			names := make([]string, 0, len(st.PerKernel))
+			for name := range st.PerKernel {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				pk := st.PerKernel[name]
+				fmt.Printf("  kernel %-24s launches=%-4d cycles=%-9d instrs=%-10d IPC=%.1f\n",
+					name, pk.Launches, pk.Cycles, pk.ThreadInstrs, pk.IPC())
+			}
+		}
+		fmt.Println()
+	}
+}

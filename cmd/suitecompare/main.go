@@ -1,0 +1,32 @@
+// Command suitecompare runs the full Rodinia-vs-Parsec application-space
+// study of Section IV: workload profiling, PCA, hierarchical clustering
+// and all the comparison figures (6-12).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ctx := experiments.NewContext()
+	for _, id := range []string{"table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
+			os.Exit(1)
+		}
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s ===\n%s\n", res.ID, res.Title, res.Text)
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro reproduces "A Characterization of the Rodinia Benchmark
+// Suite with Comparison to Contemporary CMP Workloads" (Che et al., IISWC
+// 2010) as a self-contained Go system: a cycle-level SIMT GPU simulator
+// with the twelve Rodinia benchmarks implemented on a virtual ISA, a
+// Pin-style CPU instrumentation pipeline with Rodinia OpenMP
+// implementations and Parsec proxies, and the statistical machinery (PCA,
+// hierarchical clustering, Plackett-Burman screening) behind the paper's
+// analyses.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

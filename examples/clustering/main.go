@@ -1,0 +1,62 @@
+// clustering: a small application-space study in the style of Section IV.
+//
+// It profiles a hand-picked subset of Rodinia and Parsec workloads,
+// standardizes their full characteristic vectors, reduces them with PCA,
+// clusters hierarchically and prints the dendrogram — the Figure 6
+// pipeline on a budget.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	subset := []string{
+		"srad", "hotspot", "bfs", "mummergpu", "heartwall", // Rodinia
+		"blackscholes", "canneal", "bodytrack", "fluidanimate", "streamcluster", // Parsec
+	}
+	var rows [][]float64
+	var labels []string
+	for _, name := range subset {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			log.Fatalf("unknown workload %s", name)
+		}
+		p := core.CharacterizeCPU(w)
+		rows = append(rows, p.FullVector())
+		labels = append(labels, p.Label())
+		fmt.Printf("profiled %-18s mix(alu=%.2f br=%.2f ld=%.2f st=%.2f) miss4M=%.3f\n",
+			p.Label(), p.ALU, p.Branch, p.Load, p.Store, p.MissRate4MB())
+	}
+
+	m, err := stats.FromRows(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pca, err := stats.ComputePCA(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := pca.ComponentsFor(0.9)
+	fmt.Printf("\nPCA: %d of %d components cover 90%% of variance\n", k, len(pca.Eigenvalues))
+
+	reduced := stats.NewMatrix(m.Rows, k)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < k; j++ {
+			reduced.Set(i, j, pca.Scores.At(i, j))
+		}
+	}
+	root, err := stats.HCluster(reduced, labels, stats.AverageLinkage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDendrogram (linkage distance increases to the right):")
+	fmt.Println(stats.RenderDendrogram(root, 90))
+}

@@ -1,0 +1,48 @@
+// Quickstart: the minimal end-to-end tour of the library.
+//
+// It runs one Rodinia benchmark (HotSpot) on the simulated GPU with the
+// paper's Table II configuration, validates the device results against the
+// CPU reference, prints the characterization statistics, and then profiles
+// the same application's OpenMP implementation through the CPU pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// --- GPU side: cycle-level simulation of the CUDA implementation ---
+	bench, ok := kernels.ByAbbrev("HS")
+	if !ok {
+		log.Fatal("HotSpot benchmark not registered")
+	}
+	stats, err := core.CharacterizeGPU(bench, gpusim.Base(), true)
+	if err != nil {
+		log.Fatalf("GPU characterization failed: %v", err)
+	}
+	fmt.Printf("HotSpot on %d-SM simulated GPU (validated against CPU reference):\n", gpusim.Base().NumSMs)
+	fmt.Println(stats)
+
+	// --- CPU side: Pin-style instrumentation of the OpenMP implementation ---
+	w, ok := workloads.ByName("hotspot")
+	if !ok {
+		log.Fatal("hotspot workload not registered")
+	}
+	p := core.CharacterizeCPU(w)
+	fmt.Printf("\nHotSpot OpenMP profile (%d threads, shared-cache methodology):\n", workloads.Threads)
+	fmt.Printf("  instruction mix: ALU %.0f%%, branch %.0f%%, load %.0f%%, store %.0f%%\n",
+		100*p.ALU, 100*p.Branch, 100*p.Load, 100*p.Store)
+	fmt.Printf("  miss rate @ 4 MB shared cache: %.4f misses/ref\n", p.MissRate4MB())
+	fmt.Printf("  sharing: %.1f%% of lines shared, %.1f%% of accesses to shared lines\n",
+		100*p.SharedLineFrac, 100*p.SharedAccessFrac)
+	fmt.Printf("  footprints: %d instruction blocks (64 B), %d data pages (4 kB)\n",
+		p.InstrBlocks, p.DataPages)
+}

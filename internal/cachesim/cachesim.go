@@ -1,0 +1,294 @@
+// Package cachesim provides the trace consumers behind the paper's CPU
+// characterization (Section IV): instruction mix, the shared-cache working
+// set sweep (misses per memory reference at cache sizes from 128 kB to
+// 16 MB), data-sharing behavior, and data footprints. The methodology
+// follows Bienia et al.: one cache shared by all eight cores, 4-way
+// associative, 64-byte lines.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// LineSize is the shared-cache line size in bytes.
+const LineSize = 64
+
+// DefaultSizesKB are the eight cache sizes of the working-set sweep.
+var DefaultSizesKB = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// Mix counts the instruction mix (Figure 7's underlying features).
+type Mix struct {
+	ALU, Branch, Load, Store uint64
+}
+
+var _ trace.Consumer = (*Mix)(nil)
+
+// Event implements trace.Consumer.
+func (m *Mix) Event(e *trace.Event) {
+	switch e.Kind {
+	case trace.KindALU:
+		m.ALU += uint64(e.Count)
+	case trace.KindBranch:
+		m.Branch += uint64(e.Count)
+	case trace.KindLoad:
+		m.Load++
+	case trace.KindStore:
+		m.Store++
+	}
+}
+
+// Total is the total modeled instruction count.
+func (m *Mix) Total() uint64 { return m.ALU + m.Branch + m.Load + m.Store }
+
+// MemRefs is the number of memory references.
+func (m *Mix) MemRefs() uint64 { return m.Load + m.Store }
+
+// Fractions returns (alu, branch, load, store) as fractions of the total.
+func (m *Mix) Fractions() (alu, branch, load, store float64) {
+	t := float64(m.Total())
+	if t == 0 {
+		return
+	}
+	return float64(m.ALU) / t, float64(m.Branch) / t, float64(m.Load) / t, float64(m.Store) / t
+}
+
+// SharedCache is one set-associative cache shared by all threads.
+type SharedCache struct {
+	SizeKB   int
+	ways     int
+	sets     int
+	lineMask uint64
+	tags     []uint64
+	valid    []bool
+	stamp    []uint64
+	tick     uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewSharedCache builds a sizeKB cache with the given associativity.
+func NewSharedCache(sizeKB, ways int) *SharedCache {
+	lines := sizeKB * 1024 / LineSize
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	// Power-of-two sets for mask indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	return &SharedCache{
+		SizeKB:   sizeKB,
+		ways:     ways,
+		sets:     sets,
+		lineMask: uint64(sets - 1),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		stamp:    make([]uint64, sets*ways),
+	}
+}
+
+var _ trace.Consumer = (*SharedCache)(nil)
+
+// Event implements trace.Consumer, probing the cache on memory events.
+func (c *SharedCache) Event(e *trace.Event) {
+	if e.Kind != trace.KindLoad && e.Kind != trace.KindStore {
+		return
+	}
+	c.access(e.Addr / LineSize)
+	// An access straddling a line boundary touches the next line too.
+	if (e.Addr+uint64(e.Size)-1)/LineSize != e.Addr/LineSize {
+		c.access((e.Addr + uint64(e.Size) - 1) / LineSize)
+	}
+}
+
+func (c *SharedCache) access(line uint64) {
+	c.tick++
+	c.Accesses++
+	set := int(line&c.lineMask) * c.ways
+	victim, oldest := set, ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.tick
+			return
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+}
+
+// MissRate is misses per access (the Figure 8/10 metric is misses per
+// memory reference; accesses ~ references here).
+func (c *SharedCache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Sweep runs several cache sizes over one stream (Figure 8's working-set
+// curve).
+type Sweep struct {
+	Caches []*SharedCache
+}
+
+// NewSweep builds the default 128 kB – 16 MB, 4-way sweep.
+func NewSweep() *Sweep {
+	s := &Sweep{}
+	for _, kb := range DefaultSizesKB {
+		s.Caches = append(s.Caches, NewSharedCache(kb, 4))
+	}
+	return s
+}
+
+var _ trace.Consumer = (*Sweep)(nil)
+
+// Event implements trace.Consumer.
+func (s *Sweep) Event(e *trace.Event) {
+	for _, c := range s.Caches {
+		c.Event(e)
+	}
+}
+
+// MissRates returns the per-size miss rates.
+func (s *Sweep) MissRates() []float64 {
+	out := make([]float64, len(s.Caches))
+	for i, c := range s.Caches {
+		out[i] = c.MissRate()
+	}
+	return out
+}
+
+// ByKB returns the cache of the given size, if present.
+func (s *Sweep) ByKB(kb int) (*SharedCache, error) {
+	for _, c := range s.Caches {
+		if c.SizeKB == kb {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("cachesim: no %d kB cache in sweep", kb)
+}
+
+// Sharing tracks which threads touch each cache line (Figure 9): the
+// fraction of lines accessed by more than one thread, and the fraction of
+// references that hit such shared lines.
+type Sharing struct {
+	lines map[uint64]uint64 // line -> thread bitmask
+
+	MemRefs          uint64
+	AccessesToShared uint64
+	Stores           uint64
+	StoresToShared   uint64
+}
+
+// NewSharing builds a sharing tracker.
+func NewSharing() *Sharing { return &Sharing{lines: make(map[uint64]uint64)} }
+
+var _ trace.Consumer = (*Sharing)(nil)
+
+// Event implements trace.Consumer.
+func (s *Sharing) Event(e *trace.Event) {
+	if e.Kind != trace.KindLoad && e.Kind != trace.KindStore {
+		return
+	}
+	s.MemRefs++
+	line := e.Addr / LineSize
+	mask := s.lines[line]
+	bit := uint64(1) << (e.Tid & 63)
+	shared := mask&^bit != 0
+	if shared {
+		s.AccessesToShared++
+	}
+	if e.Kind == trace.KindStore {
+		s.Stores++
+		if shared {
+			s.StoresToShared++
+		}
+	}
+	s.lines[line] = mask | bit
+}
+
+// TotalLines is the number of distinct lines touched.
+func (s *Sharing) TotalLines() int { return len(s.lines) }
+
+// SharedLines counts lines touched by more than one thread.
+func (s *Sharing) SharedLines() int {
+	n := 0
+	for _, mask := range s.lines {
+		if mask&(mask-1) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SharedLineFraction is shared lines / total lines.
+func (s *Sharing) SharedLineFraction() float64 {
+	if len(s.lines) == 0 {
+		return 0
+	}
+	return float64(s.SharedLines()) / float64(len(s.lines))
+}
+
+// SharedAccessFraction is accesses to shared lines per memory reference.
+func (s *Sharing) SharedAccessFraction() float64 {
+	if s.MemRefs == 0 {
+		return 0
+	}
+	return float64(s.AccessesToShared) / float64(s.MemRefs)
+}
+
+// SharedStoreFraction is stores to shared lines per store.
+func (s *Sharing) SharedStoreFraction() float64 {
+	if s.Stores == 0 {
+		return 0
+	}
+	return float64(s.StoresToShared) / float64(s.Stores)
+}
+
+// MeanSharers is the mean number of distinct threads touching each line.
+func (s *Sharing) MeanSharers() float64 {
+	if len(s.lines) == 0 {
+		return 0
+	}
+	total := 0
+	for _, mask := range s.lines {
+		for ; mask != 0; mask &= mask - 1 {
+			total++
+		}
+	}
+	return float64(total) / float64(len(s.lines))
+}
+
+// DataFootprint counts unique 4 kB data pages touched (Figure 12).
+type DataFootprint struct {
+	pages map[uint64]struct{}
+}
+
+// NewDataFootprint builds a footprint counter.
+func NewDataFootprint() *DataFootprint {
+	return &DataFootprint{pages: make(map[uint64]struct{})}
+}
+
+var _ trace.Consumer = (*DataFootprint)(nil)
+
+// Event implements trace.Consumer.
+func (f *DataFootprint) Event(e *trace.Event) {
+	if e.Kind != trace.KindLoad && e.Kind != trace.KindStore {
+		return
+	}
+	f.pages[e.Addr>>12] = struct{}{}
+}
+
+// Pages is the number of distinct 4 kB pages touched.
+func (f *DataFootprint) Pages() uint64 { return uint64(len(f.pages)) }

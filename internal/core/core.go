@@ -1,0 +1,141 @@
+// Package core is the library façade of the reproduction: it characterizes
+// GPU benchmarks on the timing simulator and CPU workloads through the
+// trace/cachesim pipeline, producing the profiles and feature vectors the
+// paper's analyses (PCA, clustering, figures) are built from.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cachesim"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// CPUProfile is the full characterization vector of one CPU workload: the
+// Bienia et al. metrics used in Figures 6-12.
+type CPUProfile struct {
+	Name  string
+	Suite string
+
+	// Instruction mix fractions (Figure 7).
+	ALU, Branch, Load, Store float64
+
+	// Misses per memory reference at each cachesim.DefaultSizesKB size
+	// (Figures 8 and 10).
+	MissRates []float64
+
+	// Sharing behavior (Figure 9).
+	SharedLineFrac   float64
+	SharedAccessFrac float64
+	SharedStoreFrac  float64
+	MeanSharers      float64
+
+	// Footprints (Figures 11 and 12).
+	InstrBlocks uint64 // unique 64-byte instruction blocks
+	DataPages   uint64 // unique 4 kB data pages
+
+	MemRefs uint64
+	Instrs  uint64
+}
+
+// Label renders the figure label, e.g. "srad(R)".
+func (p *CPUProfile) Label() string { return p.Name + "(" + p.Suite + ")" }
+
+// MissRate4MB is the Figure 10 metric.
+func (p *CPUProfile) MissRate4MB() float64 {
+	for i, kb := range cachesim.DefaultSizesKB {
+		if kb == 4096 {
+			return p.MissRates[i]
+		}
+	}
+	return 0
+}
+
+// MixVector is the instruction-mix feature subset (Figure 7).
+func (p *CPUProfile) MixVector() []float64 {
+	return []float64{p.ALU, p.Branch, p.Load, p.Store}
+}
+
+// WorkingSetVector is the miss-rate curve feature subset (Figure 8).
+func (p *CPUProfile) WorkingSetVector() []float64 {
+	return append([]float64(nil), p.MissRates...)
+}
+
+// SharingVector is the sharing feature subset (Figure 9).
+func (p *CPUProfile) SharingVector() []float64 {
+	return []float64{p.SharedLineFrac, p.SharedAccessFrac, p.SharedStoreFrac, p.MeanSharers}
+}
+
+// FullVector concatenates every characteristic (Figure 6's clustering
+// space). Footprints enter in log scale, as magnitudes not raw counts.
+func (p *CPUProfile) FullVector() []float64 {
+	v := p.MixVector()
+	v = append(v, p.WorkingSetVector()...)
+	v = append(v, p.SharingVector()...)
+	v = append(v, math.Log10(float64(p.InstrBlocks+1)), math.Log10(float64(p.DataPages+1)))
+	return v
+}
+
+// CharacterizeCPU runs one workload through the Pin-equivalent pipeline
+// with the paper's methodology: 8 threads, one shared 4-way cache per
+// size, 64-byte lines.
+func CharacterizeCPU(w *workloads.Workload) *CPUProfile {
+	mix := &cachesim.Mix{}
+	sweep := cachesim.NewSweep()
+	sharing := cachesim.NewSharing()
+	foot := cachesim.NewDataFootprint()
+	h := trace.NewHarness(workloads.Threads, mix, sweep, sharing, foot)
+	w.Run(h)
+
+	alu, br, ld, st := mix.Fractions()
+	return &CPUProfile{
+		Name:             w.Name,
+		Suite:            w.Suite,
+		ALU:              alu,
+		Branch:           br,
+		Load:             ld,
+		Store:            st,
+		MissRates:        sweep.MissRates(),
+		SharedLineFrac:   sharing.SharedLineFraction(),
+		SharedAccessFrac: sharing.SharedAccessFraction(),
+		SharedStoreFrac:  sharing.SharedStoreFraction(),
+		MeanSharers:      sharing.MeanSharers(),
+		InstrBlocks:      h.TouchedInstrBlocks(),
+		DataPages:        foot.Pages(),
+		MemRefs:          mix.MemRefs(),
+		Instrs:           mix.Total(),
+	}
+}
+
+// CharacterizeCPUAll profiles the given workloads in order.
+func CharacterizeCPUAll(ws []*workloads.Workload) []*CPUProfile {
+	out := make([]*CPUProfile, len(ws))
+	for i, w := range ws {
+		out[i] = CharacterizeCPU(w)
+	}
+	return out
+}
+
+// CharacterizeGPU runs one Rodinia benchmark to completion on a simulated
+// GPU and returns the accumulated statistics. With check set, device
+// results are validated against the CPU reference first.
+func CharacterizeGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	in := b.Instance()
+	g, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Run(g); err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", b.Abbrev, cfg.Name, err)
+	}
+	if check {
+		if err := in.Check(); err != nil {
+			return nil, fmt.Errorf("core: %s on %s failed validation: %w", b.Abbrev, cfg.Name, err)
+		}
+	}
+	return g.Stats, nil
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// --- Table IV: Parsec vs Rodinia feature comparison ---
+
+var expTable4 = &Experiment{
+	ID:    "table4",
+	Title: "Table IV: comparison between Parsec and Rodinia",
+	Run: func(ctx *Context) (*Result, error) {
+		rows := [][]string{
+			{"Platform", "CPU", "CPU and GPU"},
+			{"Programming Model", "Pthreads, OpenMP, and TBB", "OpenMP and CUDA"},
+			{"Machine Model", "Shared Memory", "Shared Memory and Offloading"},
+			{"Application Domains", "Scientific, Engineering, Finance, Multimedia", "Scientific, Engineering, Data Mining"},
+			{"Application Count", "3 Kernels and 9 Applications", "6 Kernels and 6 Applications"},
+			{"Optimized for...", "Multicore", "Manycore and Accelerator"},
+			{"Incremental Versions", "No", "Yes"},
+			{"Memory Space", "HW Cache", "HW and SW Caches"},
+			{"Problem Sizes", "Small-Large", "Small-Large"},
+			{"Special SW Techniques", "SW Pipelining", "Ghost-zone and Persistent Thread Blocks"},
+			{"Synchronization", "Barriers, Locks, and Conditions", "Barriers"},
+		}
+		return &Result{
+			ID:    "table4",
+			Title: "Design-focus comparison (paper Table IV)",
+			Text:  report.Table([]string{"Feature", "Parsec", "Rodinia"}, rows),
+			Notes: []string{
+				"Reproduced verbatim from the paper; this repository implements both sides: the Rodinia GPU kernels use the ghost-zone (HotSpot) and persistent-thread-block (Leukocyte v2) techniques, and the Parsec proxies model the SW-pipelining workloads (dedup, ferret).",
+			},
+		}, nil
+	},
+}
+
+// --- Table V: Parsec applications ---
+
+var expTable5 = &Experiment{
+	ID:    "table5",
+	Title: "Table V: Parsec applications and input sizes",
+	Run: func(ctx *Context) (*Result, error) {
+		paper := map[string][2]string{
+			"blackscholes":  {"65,536 options", "Portfolio pricing with the Black-Scholes PDE"},
+			"bodytrack":     {"4 frames, 4,000 particles", "Tracks a 3D human body pose"},
+			"canneal":       {"400,000 elements", "Simulated-annealing chip routing"},
+			"dedup":         {"184 MB", "Pipelined compression kernel"},
+			"facesim":       {"1 frame, 372,126 tetrahedra", "Physics simulation of a human face"},
+			"ferret":        {"256 queries, 34,973 images", "Pipelined content similarity search"},
+			"fluidanimate":  {"5 frames, 300,000 particles", "SPH fluid animation"},
+			"freqmine":      {"990,000 transactions", "Frequent itemset mining"},
+			"raytrace":      {"1920x1080 frames", "Whitted ray tracing"},
+			"streamcluster": {"16,384 points per block, 1 block", "Online clustering kernel"},
+			"swaptions":     {"64 swaptions, 20,000 simulations", "Monte-Carlo HJM portfolio pricing"},
+			"vips":          {"1 image, 26,625,500 pixels", "Image transformation pipeline"},
+			"x264":          {"128 frames, 640x360 pixels", "H.264 video encoder"},
+		}
+		var rows [][]string
+		for _, w := range workloads.Parsec() {
+			p := paper[w.Name]
+			rows = append(rows, []string{w.Name, w.Domain, p[0], p[1]})
+		}
+		return &Result{
+			ID:    "table5",
+			Title: "Parsec applications (paper Table V) and their proxies here",
+			Text:  report.Table([]string{"Application", "Domain", "Paper input (sim-large)", "Description"}, rows),
+			Notes: []string{"Each application is reproduced as an algorithmic proxy implementing its kernel; proxy problem sizes are scaled (see EXPERIMENTS.md)."},
+		}, nil
+	},
+}
+
+// suiteClass maps a profile to a scatter class: 0 = Rodinia, 1 = Parsec.
+func suiteClass(p *core.CPUProfile) int {
+	if p.Suite == "P" {
+		return 1
+	}
+	return 0
+}
+
+// pcaScatter builds the PCA scatter for a feature subset.
+func pcaScatter(ctx *Context, id, title string, feature func(*core.CPUProfile) []float64, highlight []string) (*Result, error) {
+	profiles := ctx.Profiles()
+	var rows [][]float64
+	var labels []string
+	var class []int
+	for _, p := range profiles {
+		rows = append(rows, feature(p))
+		labels = append(labels, p.Label())
+		class = append(class, suiteClass(p))
+	}
+	m, err := stats.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := stats.ComputePCA(m)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(labels))
+	ys := make([]float64, len(labels))
+	for i := range labels {
+		xs[i] = pca.Scores.At(i, 0)
+		ys[i] = pca.Scores.At(i, 1)
+	}
+	text := report.Scatter(title, xs, ys, labels, class, 72, 24)
+	notes := []string{
+		note("First two PCs explain %.0f%% of variance.", 100*pca.VarianceExplained(2)),
+	}
+	if len(highlight) > 0 {
+		// Report the most extreme points by distance from the centroid.
+		dist := make([]float64, len(labels))
+		for i := range labels {
+			dist[i] = xs[i]*xs[i] + ys[i]*ys[i]
+		}
+		ranks := rankOf(labels, dist)
+		for _, hl := range highlight {
+			notes = append(notes, note("%s outlier rank (by PC-plane distance from centroid): %d of %d.", hl, ranks[hl], len(labels)))
+		}
+	}
+	return &Result{ID: id, Title: title, Text: text, Notes: notes}, nil
+}
+
+var expFig7 = &Experiment{
+	ID:    "fig7",
+	Title: "Figure 7: instruction-mix PCA",
+	Run: func(ctx *Context) (*Result, error) {
+		return pcaScatter(ctx, "fig7", "Instruction mix (PC1 vs PC2; * Rodinia, o Parsec)",
+			func(p *core.CPUProfile) []float64 { return p.MixVector() },
+			[]string{"bfs(R)", "hotspot(R)", "backprop(R)"})
+	},
+}
+
+var expFig8 = &Experiment{
+	ID:    "fig8",
+	Title: "Figure 8: working-set PCA",
+	Run: func(ctx *Context) (*Result, error) {
+		return pcaScatter(ctx, "fig8", "Working sets (miss-rate curve PCA; * Rodinia, o Parsec)",
+			func(p *core.CPUProfile) []float64 { return p.WorkingSetVector() },
+			[]string{"mummergpu(R)", "canneal(P)", "streamcluster(R,P)"})
+	},
+}
+
+var expFig9 = &Experiment{
+	ID:    "fig9",
+	Title: "Figure 9: sharing PCA",
+	Run: func(ctx *Context) (*Result, error) {
+		return pcaScatter(ctx, "fig9", "Data sharing (PCA; * Rodinia, o Parsec)",
+			func(p *core.CPUProfile) []float64 { return p.SharingVector() },
+			[]string{"heartwall(R)"})
+	},
+}
+
+// --- Figure 6: hierarchical clustering dendrogram ---
+
+var expFig6 = &Experiment{
+	ID:    "fig6",
+	Title: "Figure 6: dendrogram over the full characteristic vector",
+	Run: func(ctx *Context) (*Result, error) {
+		profiles := ctx.Profiles()
+		var rows [][]float64
+		var labels []string
+		for _, p := range profiles {
+			rows = append(rows, p.FullVector())
+			labels = append(labels, p.Label())
+		}
+		m, err := stats.FromRows(rows)
+		if err != nil {
+			return nil, err
+		}
+		pca, err := stats.ComputePCA(m)
+		if err != nil {
+			return nil, err
+		}
+		// Cluster on the components that cover 90% of variance, as in the
+		// Bienia et al. methodology the paper adopts.
+		k := pca.ComponentsFor(0.9)
+		reduced := stats.NewMatrix(m.Rows, k)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < k; j++ {
+				reduced.Set(i, j, pca.Scores.At(i, j))
+			}
+		}
+		root, err := stats.HCluster(reduced, labels, stats.AverageLinkage)
+		if err != nil {
+			return nil, err
+		}
+		text := stats.RenderDendrogram(root, 100)
+
+		// Outlier analysis: which leaves join the tree last?
+		last := lastJoiners(root, 3)
+		mixedAt := func(clusters int) (mixed, total int) {
+			for _, g := range cutToK(root, clusters) {
+				if len(g) < 2 {
+					continue
+				}
+				total++
+				hasR, hasP := false, false
+				for _, idx := range g {
+					s := profiles[idx].Suite
+					if s != "P" {
+						hasR = true
+					}
+					if s != "R" {
+						hasP = true
+					}
+				}
+				if hasR && hasP {
+					mixed++
+				}
+			}
+			return
+		}
+		m4, t4 := mixedAt(4)
+		m6, t6 := mixedAt(6)
+		m8, t8 := mixedAt(8)
+		notes := []string{
+			note("PCA: %d components cover 90%% of variance over %d features.", k, m.Cols),
+			note("Paper: Heartwall and MUMmer are the most disparate benchmarks. Measured highest first-merge leaves: %v.", last),
+			note("Paper: most clusters contain both Rodinia and Parsec applications. Measured suite-mixed multi-leaf clusters: %d/%d at a 4-cluster cut, %d/%d at 6, %d/%d at 8.",
+				m4, t4, m6, t6, m8, t8),
+		}
+		return &Result{
+			ID:    "fig6",
+			Title: "Hierarchical clustering of Rodinia (R) and Parsec (P)",
+			Text:  text,
+			Notes: notes,
+		}, nil
+	},
+}
+
+// lastJoiners returns the n leaves whose first merge happens at the
+// highest linkage distance — the dendrogram's most disparate benchmarks.
+func lastJoiners(root *stats.DendroNode, n int) []string {
+	first := map[string]float64{}
+	var walk func(node *stats.DendroNode)
+	walk = func(node *stats.DendroNode) {
+		if node.Left == nil {
+			return
+		}
+		for _, child := range []*stats.DendroNode{node.Left, node.Right} {
+			if child.Left == nil {
+				// A leaf's first merge is its parent's height.
+				first[child.Label] = node.Height
+			}
+			walk(child)
+		}
+	}
+	walk(root)
+	labels := make([]string, 0, len(first))
+	for l := range first {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels) // deterministic tie-breaking
+	heights := make([]float64, len(labels))
+	for i, l := range labels {
+		heights[i] = first[l]
+	}
+	ranks := rankOf(labels, heights)
+	out := make([]string, n)
+	for l, r := range ranks {
+		if r <= n {
+			out[r-1] = l
+		}
+	}
+	return out
+}
+
+// cutToK cuts the dendrogram at the smallest height yielding at least k
+// clusters.
+func cutToK(root *stats.DendroNode, k int) [][]int {
+	// Collect merge heights, cut just below the (k-1)th highest.
+	var heights []float64
+	var walk func(n *stats.DendroNode)
+	walk = func(n *stats.DendroNode) {
+		if n.Left == nil {
+			return
+		}
+		heights = append(heights, n.Height)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	sort.Sort(sort.Reverse(sort.Float64Slice(heights)))
+	// k clusters require splitting the k-1 highest merges: cut just below
+	// the (k-1)-th largest height.
+	if k < 2 || k-2 >= len(heights) {
+		return stats.CutHeight(root, -1)
+	}
+	return stats.CutHeight(root, heights[k-2]-1e-12)
+}
+
+// --- Figure 10: miss rates at 4 MB ---
+
+var expFig10 = &Experiment{
+	ID:    "fig10",
+	Title: "Figure 10: miss rates under a 4 MB cache",
+	Run: func(ctx *Context) (*Result, error) {
+		profiles := ctx.Profiles()
+		var labels []string
+		s := report.Series{Name: "miss/ref"}
+		for _, p := range profiles {
+			labels = append(labels, p.Label())
+			s.Values = append(s.Values, p.MissRate4MB())
+		}
+		ranks := rankOf(labels, s.Values)
+		notes := []string{
+			note("Paper: MUMmer's high miss rate makes it the working-set outlier. Measured rank of mummergpu(R): %d of %d (1 = highest).", ranks["mummergpu(R)"], len(labels)),
+			note("canneal(P) rank: %d; streamcluster(R,P) rank: %d (both high, as in the Parsec characterization).", ranks["canneal(P)"], ranks["streamcluster(R,P)"]),
+		}
+		return &Result{
+			ID:    "fig10",
+			Title: "Misses per memory reference, 4 MB shared cache",
+			Text:  report.Bars("Miss rate (4 MB, 4-way, 64 B lines)", labels, []report.Series{s}, 50),
+			Notes: notes,
+		}, nil
+	},
+}
+
+// --- Figure 11: instruction footprints ---
+
+var expFig11 = &Experiment{
+	ID:    "fig11",
+	Title: "Figure 11: 64-byte instruction blocks touched",
+	Run: func(ctx *Context) (*Result, error) {
+		profiles := ctx.Profiles()
+		var labels []string
+		s := report.Series{Name: "blocks"}
+		var rSum, rN, pSum, pN float64
+		var mumBlocks float64
+		for _, p := range profiles {
+			labels = append(labels, p.Label())
+			v := float64(p.InstrBlocks)
+			s.Values = append(s.Values, v)
+			if p.Suite == "P" {
+				pSum += v
+				pN++
+			} else {
+				rSum += v
+				rN++
+			}
+			if p.Name == "mummergpu" {
+				mumBlocks = v
+			}
+		}
+		notes := []string{
+			note("Paper: Parsec applications have larger instruction footprints than Rodinia, except MUMmer. Measured means: Parsec %.0f vs Rodinia %.0f blocks; mummergpu = %.0f.",
+				pSum/pN, rSum/rN, mumBlocks),
+		}
+		return &Result{
+			ID:    "fig11",
+			Title: "Instruction footprint (unique 64 B instruction blocks)",
+			Text:  report.Bars("64-byte instruction blocks", labels, []report.Series{s}, 50),
+			Notes: notes,
+		}, nil
+	},
+}
+
+// --- Figure 12: data footprints ---
+
+var expFig12 = &Experiment{
+	ID:    "fig12",
+	Title: "Figure 12: 4 kB data blocks touched",
+	Run: func(ctx *Context) (*Result, error) {
+		profiles := ctx.Profiles()
+		var labels []string
+		s := report.Series{Name: "pages"}
+		big := 0
+		for _, p := range profiles {
+			labels = append(labels, p.Label())
+			s.Values = append(s.Values, float64(p.DataPages))
+			if p.DataPages >= 256 { // >= 1 MB of data touched
+				big++
+			}
+		}
+		notes := []string{
+			note("Paper: both suites use large working sets. Measured: %d of %d workloads touch at least 1 MB of distinct data.", big, len(labels)),
+		}
+		return &Result{
+			ID:    "fig12",
+			Title: "Data footprint (unique 4 kB pages)",
+			Text:  report.Bars("4 kB data pages", labels, []report.Series{s}, 50),
+			Notes: notes,
+		}, nil
+	},
+}

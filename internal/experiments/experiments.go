@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment renders its artifact as text and records
+// notes comparing the measured shape against the paper's reported
+// behavior; EXPERIMENTS.md is the curated log of those comparisons.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/workloads"
+)
+
+// Result is a regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	Text  string   // the rendered table/figure
+	Notes []string // measured-vs-paper commentary
+}
+
+// Experiment is one table or figure driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx *Context) (*Result, error)
+}
+
+// Context caches expensive characterizations so related experiments
+// (e.g. Figures 1-3 share the 28-SM run) execute each simulation once.
+type Context struct {
+	// Check validates every GPU benchmark against its CPU reference
+	// before trusting its statistics.
+	Check bool
+
+	gpuStats map[string]*gpusim.Stats
+	profiles []*core.CPUProfile
+}
+
+// NewContext returns an empty cache with validation enabled.
+func NewContext() *Context {
+	return &Context{Check: true, gpuStats: make(map[string]*gpusim.Stats)}
+}
+
+// GPU characterizes a benchmark on a configuration, memoized.
+func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, error) {
+	key := b.Abbrev + "@" + cfg.Name
+	if s, ok := c.gpuStats[key]; ok {
+		return s, nil
+	}
+	s, err := core.CharacterizeGPU(b, cfg, c.Check)
+	if err != nil {
+		return nil, err
+	}
+	c.gpuStats[key] = s
+	return s, nil
+}
+
+// Profiles characterizes every CPU workload once, memoized.
+func (c *Context) Profiles() []*core.CPUProfile {
+	if c.profiles == nil {
+		c.profiles = core.CharacterizeCPUAll(workloads.All())
+	}
+	return c.profiles
+}
+
+// All returns every experiment in paper order.
+func All() []*Experiment {
+	return []*Experiment{
+		expTable1, expTable2, expFig1, expFig2, expFig3, expFig4,
+		expTable3, expFig5, expPB, expTable4, expTable5,
+		expFig6, expFig7, expFig8, expFig9, expFig10, expFig11, expFig12,
+		expDwarfs, expDivergence, expCorrelate, expConcurrent,
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (*Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists every experiment id.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// rankOf returns the (1-based) rank positions of each label when sorted
+// by decreasing value — used by notes that assert orderings.
+func rankOf(labels []string, values []float64) map[string]int {
+	idx := make([]int, len(labels))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	out := make(map[string]int, len(labels))
+	for rank, i := range idx {
+		out[labels[i]] = rank + 1
+	}
+	return out
+}
+
+func note(format string, args ...any) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,111 @@
+package gpusim
+
+// cache is a set-associative, LRU, single-cycle-probe cache model used for
+// the constant cache, texture cache, Fermi L1 and Fermi L2. It tracks tag
+// state only; data always lives in the functional memory arenas.
+type cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	tags      []uint64
+	valid     []bool
+	stamp     []uint64
+	tick      uint64
+	hits      uint64
+	misses    uint64
+}
+
+// newCache builds a cache of sizeKB kilobytes with the given associativity
+// and line size. A sizeKB of 0 returns nil (cache absent).
+func newCache(sizeKB, ways, lineSize int) *cache {
+	if sizeKB <= 0 {
+		return nil
+	}
+	lines := sizeKB * 1024 / lineSize
+	if lines < ways {
+		ways = lines
+	}
+	sets := lines / ways
+	// Round sets down to a power of two for mask indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	if sets == 0 {
+		sets = 1
+	}
+	c := &cache{
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		valid: make([]bool, sets*ways),
+		stamp: make([]uint64, sets*ways),
+	}
+	for lineSize > 1 {
+		lineSize >>= 1
+		c.lineShift++
+	}
+	c.setMask = uint64(sets - 1)
+	return c
+}
+
+// access probes the cache for addr, allocating on miss, and reports hit.
+func (c *cache) access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.ways
+	victim := set
+	oldest := ^uint64(0)
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.tick
+			c.hits++
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+		} else if c.stamp[i] < oldest {
+			victim = i
+			oldest = c.stamp[i]
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// dram models the device memory system: independent channels selected by
+// line-interleaved addressing, each a FIFO with fixed service time per
+// transaction plus a pipe latency.
+type dram struct {
+	freeAt  []uint64
+	service float64 // core cycles to transfer one line on one channel
+	latency uint64
+	line    uint64
+	bytes   uint64
+	txns    uint64
+}
+
+func newDRAM(cfg *Config) *dram {
+	return &dram{
+		freeAt:  make([]uint64, cfg.MemChannels),
+		service: float64(cfg.LineSize) / cfg.dramBytesPerCoreCycle(),
+		latency: uint64(cfg.DRAMLatency),
+		line:    uint64(cfg.LineSize),
+	}
+}
+
+// access enqueues one line transaction for addr at cycle now and returns
+// its completion cycle.
+func (d *dram) access(now, addr uint64) uint64 {
+	ch := (addr / d.line) % uint64(len(d.freeAt))
+	start := d.freeAt[ch]
+	if now > start {
+		start = now
+	}
+	d.freeAt[ch] = start + uint64(d.service+0.5)
+	d.bytes += d.line
+	d.txns++
+	return d.freeAt[ch] + d.latency
+}

@@ -1,0 +1,188 @@
+// Package gpusim is a cycle-level SIMT GPU timing simulator in the mold of
+// GPGPU-Sim. It executes kernels written in the internal/isa virtual ISA
+// and reports the characterization metrics used throughout the paper:
+// IPC, warp-occupancy histograms, memory-instruction mix, DRAM bandwidth
+// utilization and cache statistics.
+//
+// The model is execute-at-issue: when the warp scheduler issues a warp
+// instruction, the instruction's functional effect is applied immediately
+// and its timing cost (issue slots, latency, memory transactions) is
+// charged to the pipeline, the shared-memory banks, the caches and the
+// DRAM channels.
+package gpusim
+
+import "fmt"
+
+// Config describes a simulated GPU. The zero value is not usable; start
+// from one of the preset configurations.
+type Config struct {
+	Name string
+
+	// Core organization.
+	NumSMs        int // streaming multiprocessors ("shader cores")
+	SIMDWidth     int // lanes issued per cycle; a 32-thread warp needs 32/SIMDWidth cycles
+	MaxThreads    int // thread contexts per SM
+	MaxCTAs       int // concurrent CTAs per SM
+	Registers     int // registers per SM
+	SharedMemory  int // shared memory bytes per SM
+	SharedBanks   int // shared memory banks
+	BankConflicts bool
+	// NoCoalescing disables the per-warp memory coalescer (an ablation
+	// knob: every active lane issues its own DRAM transaction).
+	NoCoalescing bool
+
+	// Latencies in core cycles.
+	ALULatency    int
+	SFULatency    int
+	SharedLatency int
+	ConstLatency  int
+	TexLatency    int
+	ParamLatency  int
+	DRAMLatency   int // fixed pipe latency added to every DRAM access
+	L1Latency     int
+	L2Latency     int
+
+	// Clocks, used to derive per-core-cycle DRAM throughput.
+	CoreClockMHz int
+	MemClockMHz  int
+
+	// Memory system.
+	MemChannels  int // independent DRAM channels
+	DRAMBusBytes int // bus width per channel in bytes (DDR: 2 transfers/clock)
+	ConstCacheKB int // per-SM constant cache
+	TexCacheKB   int // per-SM texture cache
+	L1CacheKB    int // per-SM L1 data cache; 0 disables (pre-Fermi)
+	L2CacheKB    int // device-wide unified L2; 0 disables (pre-Fermi)
+
+	LineSize int // cache line / coalescing segment size in bytes
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("gpusim: NumSMs = %d", c.NumSMs)
+	case c.SIMDWidth <= 0 || 32%c.SIMDWidth != 0:
+		return fmt.Errorf("gpusim: SIMDWidth = %d must divide 32", c.SIMDWidth)
+	case c.MaxThreads <= 0 || c.MaxCTAs <= 0:
+		return fmt.Errorf("gpusim: thread/CTA limits must be positive")
+	case c.MemChannels <= 0 || c.DRAMBusBytes <= 0:
+		return fmt.Errorf("gpusim: memory system misconfigured")
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("gpusim: LineSize = %d must be a power of two", c.LineSize)
+	case c.SharedBanks <= 0:
+		return fmt.Errorf("gpusim: SharedBanks = %d", c.SharedBanks)
+	}
+	return nil
+}
+
+// issueCycles is the number of issue slots one warp instruction occupies.
+func (c *Config) issueCycles() uint64 { return uint64(32 / c.SIMDWidth) }
+
+// dramBytesPerCoreCycle is a channel's throughput in bytes per core cycle
+// (DDR transfers twice per memory clock).
+func (c *Config) dramBytesPerCoreCycle() float64 {
+	return float64(c.DRAMBusBytes) * 2 * float64(c.MemClockMHz) / float64(c.CoreClockMHz)
+}
+
+// Base returns the paper's Table II GPGPU-Sim configuration: 28 SMs,
+// 32-wide SIMD, 1024 threads and 8 CTAs per SM, 16384 registers, 32 kB
+// shared memory, 8 memory channels, no L1/L2 (the paper's simulations did
+// not use an L2 cache).
+func Base() Config {
+	return Config{
+		Name:          "gpgpusim-28sm",
+		NumSMs:        28,
+		SIMDWidth:     32,
+		MaxThreads:    1024,
+		MaxCTAs:       8,
+		Registers:     16384,
+		SharedMemory:  32 * 1024,
+		SharedBanks:   16,
+		BankConflicts: true,
+		ALULatency:    4,
+		SFULatency:    16,
+		SharedLatency: 24,
+		ConstLatency:  8,
+		TexLatency:    40,
+		ParamLatency:  4,
+		DRAMLatency:   220,
+		L1Latency:     28,
+		L2Latency:     120,
+		CoreClockMHz:  2000,
+		MemClockMHz:   1000,
+		MemChannels:   8,
+		DRAMBusBytes:  16,
+		ConstCacheKB:  8,
+		TexCacheKB:    8,
+		LineSize:      64,
+	}
+}
+
+// Base8SM is the 8-shader configuration of Figure 1.
+func Base8SM() Config {
+	c := Base()
+	c.Name = "gpgpusim-8sm"
+	c.NumSMs = 8
+	return c
+}
+
+// GTX280 approximates NVIDIA's GT200 part used as the Figure 5 baseline:
+// 30 SMs of 8 SPs (SIMD width 8), 16 kB shared memory, 16384 registers,
+// no L1/L2 data caches.
+func GTX280() Config {
+	c := Base()
+	c.Name = "gtx280"
+	c.NumSMs = 30
+	c.SIMDWidth = 8
+	c.SharedMemory = 16 * 1024
+	c.CoreClockMHz = 1300
+	c.MemClockMHz = 1100
+	c.MemChannels = 8
+	c.DRAMBusBytes = 8
+	return c
+}
+
+// FermiBias selects the GTX480 on-chip memory split of Figure 5.
+type FermiBias int
+
+// Fermi on-chip memory configurations (cudaFuncSetCacheConfig).
+const (
+	// SharedBias is 48 kB shared memory + 16 kB L1 (the default).
+	SharedBias FermiBias = iota
+	// L1Bias is 16 kB shared memory + 48 kB L1.
+	L1Bias
+)
+
+func (b FermiBias) String() string {
+	if b == L1Bias {
+		return "L1-bias"
+	}
+	return "shared-bias"
+}
+
+// GTX480 approximates the Fermi part of Figure 5: 15 SMs with 32 lanes,
+// a configurable 64 kB shared/L1 split, and a 768 kB unified L2 that
+// services loads, stores and texture fetches.
+func GTX480(bias FermiBias) Config {
+	c := Base()
+	c.Name = "gtx480-" + bias.String()
+	c.NumSMs = 15
+	c.SIMDWidth = 32
+	c.MaxThreads = 1536
+	c.Registers = 32768
+	c.SharedBanks = 32
+	c.CoreClockMHz = 1400
+	c.MemClockMHz = 1850
+	c.MemChannels = 6
+	c.DRAMBusBytes = 8
+	c.L2CacheKB = 768
+	if bias == L1Bias {
+		c.SharedMemory = 16 * 1024
+		c.L1CacheKB = 48
+	} else {
+		c.SharedMemory = 48 * 1024
+		c.L1CacheKB = 16
+	}
+	return c
+}

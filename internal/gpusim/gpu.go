@@ -1,0 +1,671 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// GPU is a simulated device. It implements isa.Executor; Launch runs a
+// kernel under the timing model and accumulates into Stats. Per-SM caches
+// and the L2 persist across launches, as on hardware.
+type GPU struct {
+	cfg   Config
+	Stats *Stats
+
+	sms []*smCaches
+	l2  *cache
+
+	// lineOwner tracks which CTA first touched each global line, for the
+	// inter-CTA sharing statistics; -1 marks lines already shared.
+	lineOwner map[uint64]int32
+}
+
+type smCaches struct {
+	l1     *cache
+	constC *cache
+	texC   *cache
+}
+
+var _ isa.Executor = (*GPU)(nil)
+
+// New builds a GPU for the configuration.
+func New(cfg Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		cfg:       cfg,
+		Stats:     NewStats(cfg.Name),
+		l2:        newCache(cfg.L2CacheKB, 8, cfg.LineSize),
+		lineOwner: make(map[uint64]int32),
+	}
+	g.Stats.PeakBytesPerCycle = cfg.dramBytesPerCoreCycle() * float64(cfg.MemChannels)
+	for i := 0; i < cfg.NumSMs; i++ {
+		g.sms = append(g.sms, &smCaches{
+			l1:     newCache(cfg.L1CacheKB, 4, cfg.LineSize),
+			constC: newCache(cfg.ConstCacheKB, 4, cfg.LineSize),
+			texC:   newCache(cfg.TexCacheKB, 4, cfg.LineSize),
+		})
+	}
+	return g, nil
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// CTAsPerSM computes how many CTAs of the kernel fit on one SM given the
+// register, thread, shared-memory and CTA-slot budgets.
+func (g *GPU) CTAsPerSM(k *isa.Kernel, block int) int {
+	n := g.cfg.MaxCTAs
+	if byThreads := g.cfg.MaxThreads / block; byThreads < n {
+		n = byThreads
+	}
+	if perCTA := k.Regs() * block; perCTA > 0 {
+		if byRegs := g.cfg.Registers / perCTA; byRegs < n {
+			n = byRegs
+		}
+	}
+	if k.SharedBytes > 0 {
+		if byShared := g.cfg.SharedMemory / k.SharedBytes; byShared < n {
+			n = byShared
+		}
+	}
+	return n
+}
+
+type warpRT struct {
+	w       *isa.Warp
+	cta     *ctaRT
+	readyAt uint64
+	retired bool
+}
+
+type ctaRT struct {
+	cta     *isa.CTA
+	spec    *runSpec
+	warps   []*warpRT
+	live    int
+	waiting int
+}
+
+type smRT struct {
+	caches      *smCaches
+	warps       []*warpRT
+	issueFreeAt uint64
+	rr          int
+
+	// Per-SM resource accounting, so CTAs of different kernels can share
+	// an SM under concurrent execution.
+	usedCTAs    int
+	usedThreads int
+	usedRegs    int
+	usedShared  int
+}
+
+// fits reports whether one more CTA of the spec fits on the SM.
+func (sm *smRT) fits(cfg *Config, sp *runSpec) bool {
+	return sm.usedCTAs+1 <= cfg.MaxCTAs &&
+		sm.usedThreads+sp.launch.Block <= cfg.MaxThreads &&
+		sm.usedRegs+sp.k.Regs()*sp.launch.Block <= cfg.Registers &&
+		sm.usedShared+sp.k.SharedBytes <= cfg.SharedMemory
+}
+
+// LaunchSpec pairs a kernel with its launch geometry and memory for
+// concurrent execution.
+type LaunchSpec struct {
+	Kernel *isa.Kernel
+	Launch isa.Launch
+	Mem    *isa.Memory
+}
+
+// runSpec is a LaunchSpec plus its dispatch cursor and per-kernel stats.
+type runSpec struct {
+	k       *isa.Kernel
+	launch  isa.Launch
+	mem     *isa.Memory
+	kStats  *Stats
+	nextCTA int
+}
+
+// launchState carries everything one (possibly concurrent) launch needs.
+type launchState struct {
+	g       *GPU
+	specs   []*runSpec
+	dram    *dram
+	sms     []*smRT
+	rrSpec  int
+	pending int // CTAs not yet finished
+	now     uint64
+	scratch []uint64
+}
+
+// Launch runs the kernel to completion under the timing model.
+func (g *GPU) Launch(k *isa.Kernel, launch isa.Launch, mem *isa.Memory) error {
+	return g.LaunchConcurrent([]LaunchSpec{{Kernel: k, Launch: launch, Mem: mem}})
+}
+
+// LaunchConcurrent runs several kernels simultaneously, sharing the
+// device — the "simultaneous kernel execution" feature the paper lists as
+// future work. CTAs from all kernels are dispatched round-robin onto SMs
+// under the per-SM thread/register/shared-memory budgets, so kernels with
+// complementary resource appetites overlap.
+func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("gpusim: no kernels to launch")
+	}
+	ls := &launchState{
+		g:    g,
+		dram: newDRAM(&g.cfg),
+	}
+	for _, spec := range specs {
+		if err := spec.Launch.Validate(); err != nil {
+			return err
+		}
+		if g.CTAsPerSM(spec.Kernel, spec.Launch.Block) == 0 {
+			return fmt.Errorf("gpusim: kernel %s (regs=%d shared=%d block=%d) exceeds SM resources of %s",
+				spec.Kernel.Name, spec.Kernel.Regs(), spec.Kernel.SharedBytes, spec.Launch.Block, g.cfg.Name)
+		}
+		ls.specs = append(ls.specs, &runSpec{
+			k: spec.Kernel, launch: spec.Launch, mem: spec.Mem,
+			kStats: NewStats(g.cfg.Name),
+		})
+		ls.pending += spec.Launch.Grid
+	}
+	for i := 0; i < g.cfg.NumSMs; i++ {
+		ls.sms = append(ls.sms, &smRT{caches: g.sms[i]})
+	}
+	// Snapshot cache counters so per-launch deltas can be accumulated.
+	snap := g.cacheSnapshot()
+
+	for _, sm := range ls.sms {
+		ls.fill(sm)
+	}
+	if err := ls.run(); err != nil {
+		return err
+	}
+
+	g.Stats.Cycles += ls.now
+	g.Stats.DRAMBytes += ls.dram.bytes
+	g.Stats.DRAMTxns += ls.dram.txns
+	g.accumCacheDeltas(snap)
+
+	for _, sp := range ls.specs {
+		g.Stats.Launches++
+		g.Stats.CTAs += sp.launch.Grid
+
+		// Per-kernel accounting: everything this launch contributed.
+		pk := g.Stats.Kernel(sp.k.Name)
+		pk.Cycles += ls.now
+		pk.Launches++
+		pk.CTAs += sp.launch.Grid
+		pk.PeakBytesPerCycle = g.Stats.PeakBytesPerCycle
+		pk.WarpInstrs += sp.kStats.WarpInstrs
+		pk.ThreadInstrs += sp.kStats.ThreadInstrs
+		pk.BranchInstrs += sp.kStats.BranchInstrs
+		pk.DivergentBranches += sp.kStats.DivergentBranches
+		pk.BankConflictCycles += sp.kStats.BankConflictCycles
+		for sp2, v := range sp.kStats.MemOps {
+			pk.MemOps[sp2] += v
+		}
+		for i := range pk.Occupancy {
+			pk.Occupancy[i] += sp.kStats.Occupancy[i]
+		}
+	}
+	// DRAM traffic is shared; attribute it to the whole concurrent launch
+	// on the single-kernel path only.
+	if len(ls.specs) == 1 {
+		pk := g.Stats.Kernel(ls.specs[0].k.Name)
+		pk.DRAMBytes += ls.dram.bytes
+		pk.DRAMTxns += ls.dram.txns
+	}
+	return nil
+}
+
+type cacheCounts struct{ l1h, l1m, l2h, l2m, ch, cm, th, tm uint64 }
+
+func (g *GPU) cacheSnapshot() cacheCounts {
+	var s cacheCounts
+	for _, smc := range g.sms {
+		if smc.l1 != nil {
+			s.l1h += smc.l1.hits
+			s.l1m += smc.l1.misses
+		}
+		if smc.constC != nil {
+			s.ch += smc.constC.hits
+			s.cm += smc.constC.misses
+		}
+		if smc.texC != nil {
+			s.th += smc.texC.hits
+			s.tm += smc.texC.misses
+		}
+	}
+	if g.l2 != nil {
+		s.l2h = g.l2.hits
+		s.l2m = g.l2.misses
+	}
+	return s
+}
+
+func (g *GPU) accumCacheDeltas(before cacheCounts) {
+	after := g.cacheSnapshot()
+	g.Stats.L1Hits += after.l1h - before.l1h
+	g.Stats.L1Misses += after.l1m - before.l1m
+	g.Stats.L2Hits += after.l2h - before.l2h
+	g.Stats.L2Misses += after.l2m - before.l2m
+	g.Stats.ConstHits += after.ch - before.ch
+	g.Stats.ConstMisses += after.cm - before.cm
+	g.Stats.TexHits += after.th - before.th
+	g.Stats.TexMisses += after.tm - before.tm
+}
+
+// fill assigns pending CTAs round-robin across kernels to an SM while its
+// resource budgets allow.
+func (ls *launchState) fill(sm *smRT) {
+	for {
+		placed := false
+		for i := 0; i < len(ls.specs); i++ {
+			sp := ls.specs[(ls.rrSpec+i)%len(ls.specs)]
+			if sp.nextCTA >= sp.launch.Grid || !sm.fits(&ls.g.cfg, sp) {
+				continue
+			}
+			ls.rrSpec = (ls.rrSpec + i + 1) % len(ls.specs)
+			cta := isa.MakeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
+			sp.nextCTA++
+			rt := &ctaRT{cta: cta, spec: sp}
+			for _, w := range cta.Warps {
+				wrt := &warpRT{w: w, cta: rt, readyAt: ls.now}
+				rt.warps = append(rt.warps, wrt)
+				if !w.Done() {
+					rt.live++
+				}
+				sm.warps = append(sm.warps, wrt)
+			}
+			sm.usedCTAs++
+			sm.usedThreads += sp.launch.Block
+			sm.usedRegs += sp.k.Regs() * sp.launch.Block
+			sm.usedShared += sp.k.SharedBytes
+			placed = true
+			break
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+func (ls *launchState) run() error {
+	for ls.pending > 0 {
+		issued := false
+		for _, sm := range ls.sms {
+			if sm.issueFreeAt > ls.now {
+				continue
+			}
+			if ls.issueOne(sm) {
+				issued = true
+			}
+		}
+		if issued {
+			ls.now++
+			continue
+		}
+		next, ok := ls.nextEvent()
+		if !ok {
+			return fmt.Errorf("gpusim: kernel %s deadlocked at cycle %d (%d CTAs unfinished)",
+				ls.specs[0].k.Name, ls.now, ls.pending)
+		}
+		if next <= ls.now {
+			next = ls.now + 1
+		}
+		ls.now = next
+	}
+	// Buffered stores may still be draining: the launch is not over until
+	// every DRAM channel is idle.
+	for _, f := range ls.dram.freeAt {
+		if f > ls.now {
+			ls.now = f
+		}
+	}
+	return nil
+}
+
+// nextEvent finds the earliest cycle at which any warp could issue.
+func (ls *launchState) nextEvent() (uint64, bool) {
+	best := ^uint64(0)
+	found := false
+	for _, sm := range ls.sms {
+		for _, w := range sm.warps {
+			if w.retired || w.w.Done() || w.w.AtBarrier() {
+				continue
+			}
+			at := w.readyAt
+			if sm.issueFreeAt > at {
+				at = sm.issueFreeAt
+			}
+			if at < best {
+				best = at
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// issueOne picks a ready warp on the SM round-robin and executes one warp
+// instruction, charging its timing. Returns whether anything issued.
+func (ls *launchState) issueOne(sm *smRT) bool {
+	n := len(sm.warps)
+	if n == 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		idx := (sm.rr + 1 + i) % n
+		w := sm.warps[idx]
+		if w.retired || w.w.Done() || w.w.AtBarrier() || w.readyAt > ls.now {
+			continue
+		}
+		sm.rr = idx
+		ls.execute(sm, w)
+		return true
+	}
+	return false
+}
+
+func (ls *launchState) execute(sm *smRT, w *warpRT) {
+	st, err := w.w.Exec(w.cta.cta.Env)
+	if err != nil {
+		// Functional faults are kernel bugs; surface them loudly rather
+		// than silently corrupting the run.
+		panic(err)
+	}
+	stats := ls.g.Stats
+	cfg := &ls.g.cfg
+	issue := cfg.issueCycles()
+
+	kStats := w.cta.spec.kStats
+	stats.WarpInstrs++
+	kStats.WarpInstrs++
+	stats.ThreadInstrs += uint64(st.ActiveCount)
+	kStats.ThreadInstrs += uint64(st.ActiveCount)
+	if st.ActiveCount > 0 {
+		bucket := (st.ActiveCount - 1) / 8
+		if bucket > 3 {
+			bucket = 3
+		}
+		stats.Occupancy[bucket]++
+		kStats.Occupancy[bucket]++
+	}
+
+	lat := uint64(cfg.ALULatency)
+	switch st.Instr.Op.Class() {
+	case isa.ClassALU:
+	case isa.ClassSFU:
+		lat = uint64(cfg.SFULatency)
+		issue *= 4 // SFU throughput is a quarter of the main pipeline
+	case isa.ClassCtl:
+		stats.BranchInstrs++
+		kStats.BranchInstrs++
+		if st.Diverged {
+			stats.DivergentBranches++
+			kStats.DivergentBranches++
+		}
+	case isa.ClassMem:
+		stats.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
+		kStats.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
+		issue, lat = ls.memCost(sm, w, st, issue)
+	case isa.ClassBar:
+		ls.barrier(w)
+	case isa.ClassExit:
+	}
+
+	sm.issueFreeAt = ls.now + issue
+	w.readyAt = ls.now + lat
+	if w.w.Done() && !w.retired {
+		ls.retire(sm, w)
+	}
+}
+
+func (ls *launchState) barrier(w *warpRT) {
+	w.cta.waiting++
+	ls.checkRelease(w.cta)
+}
+
+// checkRelease releases a CTA's barrier once every live warp has arrived.
+func (ls *launchState) checkRelease(cta *ctaRT) {
+	if cta.live == 0 || cta.waiting < cta.live {
+		return
+	}
+	cta.waiting = 0
+	for _, o := range cta.warps {
+		if o.w.AtBarrier() {
+			o.w.ReleaseBarrier()
+			if o.readyAt < ls.now+1 {
+				o.readyAt = ls.now + 1
+			}
+		}
+	}
+}
+
+func (ls *launchState) retire(sm *smRT, w *warpRT) {
+	w.retired = true
+	cta := w.cta
+	cta.live--
+	if cta.live > 0 {
+		// A warp exited while others were waiting at a barrier.
+		ls.checkRelease(cta)
+		return
+	}
+	// CTA complete: free its resources, compact the warp list, refill.
+	ls.pending--
+	sp := cta.spec
+	sm.usedCTAs--
+	sm.usedThreads -= sp.launch.Block
+	sm.usedRegs -= sp.k.Regs() * sp.launch.Block
+	sm.usedShared -= sp.k.SharedBytes
+	keep := sm.warps[:0]
+	for _, x := range sm.warps {
+		if x.cta != cta {
+			keep = append(keep, x)
+		}
+	}
+	sm.warps = keep
+	if sm.rr >= len(sm.warps) {
+		sm.rr = 0
+	}
+	ls.fill(sm)
+}
+
+// memCost prices a memory warp instruction, returning the issue-slot
+// occupancy and the latency until the warp may issue its next instruction.
+func (ls *launchState) memCost(sm *smRT, w *warpRT, st isa.Step, issue uint64) (uint64, uint64) {
+	cfg := &ls.g.cfg
+	switch st.Instr.Space {
+	case isa.SpaceParam:
+		return issue, uint64(cfg.ParamLatency)
+
+	case isa.SpaceShared:
+		degree := ls.bankDegree(st.Accesses)
+		if degree > 1 {
+			extra := uint64(degree-1) * issue
+			ls.g.Stats.BankConflictCycles += extra
+			w.cta.spec.kStats.BankConflictCycles += extra
+			return issue * uint64(degree), uint64(cfg.SharedLatency) + extra
+		}
+		return issue, uint64(cfg.SharedLatency)
+
+	case isa.SpaceConst:
+		lines := ls.uniqueLines(st.Accesses, 0)
+		done := ls.now
+		for _, line := range lines {
+			var t uint64
+			if sm.caches.constC != nil && sm.caches.constC.access(line) {
+				t = ls.now + uint64(cfg.ConstLatency)
+			} else {
+				t = ls.dram.access(ls.now, line) + uint64(cfg.ConstLatency)
+			}
+			if t > done {
+				done = t
+			}
+		}
+		return issue + uint64(len(lines)-1), done - ls.now
+
+	case isa.SpaceTex:
+		lines := ls.uniqueLines(st.Accesses, 0)
+		done := ls.now
+		for _, line := range lines {
+			var t uint64
+			if sm.caches.texC != nil && sm.caches.texC.access(line) {
+				t = ls.now + uint64(cfg.TexLatency)
+			} else {
+				t = ls.l2Access(line) + uint64(cfg.TexLatency)
+			}
+			if t > done {
+				done = t
+			}
+		}
+		return issue + uint64(len(lines)-1), done - ls.now
+
+	default: // global, local, atomics
+		// Local addresses are per-thread; offset them so coalescing and
+		// channel interleaving see distinct locations per thread.
+		var laneBase uint64
+		if st.Instr.Space == isa.SpaceLocal {
+			laneBase = 1
+		}
+		lines := ls.uniqueLines(st.Accesses, laneBase)
+		if st.Instr.Space == isa.SpaceGlobal {
+			ls.trackSharing(w.cta.cta.Index, lines)
+		}
+		store := st.Instr.Op == isa.OpSt || st.Instr.Op == isa.OpStF
+		done := ls.now
+		for _, line := range lines {
+			var t uint64
+			switch {
+			case !store && sm.caches.l1 != nil && sm.caches.l1.access(line):
+				t = ls.now + uint64(cfg.L1Latency)
+			default:
+				t = ls.l2Access(line)
+			}
+			if t > done {
+				done = t
+			}
+		}
+		slots := issue + uint64(len(lines)-1)
+		if store {
+			// Stores are buffered: the warp proceeds after issuing the
+			// transactions; they still consume DRAM bandwidth above.
+			return slots, uint64(cfg.ALULatency)
+		}
+		return slots, done - ls.now
+	}
+}
+
+// trackSharing records which CTA touches each global line, feeding the
+// inter-CTA sharing statistics.
+func (ls *launchState) trackSharing(cta int, lines []uint64) {
+	g := ls.g
+	for _, line := range lines {
+		g.Stats.GlobalLineAccesses++
+		owner, seen := g.lineOwner[line]
+		switch {
+		case !seen:
+			g.lineOwner[line] = int32(cta)
+			g.Stats.GlobalLines++
+		case owner == -1:
+			g.Stats.InterCTAAccesses++
+		case owner != int32(cta):
+			g.lineOwner[line] = -1
+			g.Stats.InterCTALines++
+			g.Stats.InterCTAAccesses++
+		}
+	}
+}
+
+// l2Access sends one line transaction through the L2 (when present) to
+// DRAM and returns its completion cycle.
+func (ls *launchState) l2Access(line uint64) uint64 {
+	cfg := &ls.g.cfg
+	if ls.g.l2 != nil {
+		if ls.g.l2.access(line) {
+			return ls.now + uint64(cfg.L2Latency)
+		}
+		return ls.dram.access(ls.now, line) + uint64(cfg.L2Latency)
+	}
+	return ls.dram.access(ls.now, line)
+}
+
+// bankDegree computes the shared-memory bank-conflict degree: the maximum
+// number of distinct words mapping to one bank. Identical words broadcast
+// and do not conflict. Hardware with fewer banks than lanes services the
+// warp in lane groups of the bank count (half-warps on 16-bank parts), so
+// conflicts are computed within each group and the worst group governs.
+func (ls *launchState) bankDegree(accesses []isa.MemAccess) int {
+	if !ls.g.cfg.BankConflicts {
+		return 1
+	}
+	banks := ls.g.cfg.SharedBanks
+	if banks > 32 {
+		banks = 32 // a warp has at most 32 lanes; more banks never conflict
+	}
+	// Small fixed-size bookkeeping: per bank, the set of distinct words.
+	var words [32][]uint64
+	degree := 1
+	group := -1
+	for _, a := range accesses {
+		if g := a.Lane / banks; g != group {
+			group = g
+			for i := 0; i < banks; i++ {
+				words[i] = words[i][:0]
+			}
+		}
+		word := a.Addr >> 2
+		bank := int(word) % banks
+		seen := false
+		for _, x := range words[bank] {
+			if x == word {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			words[bank] = append(words[bank], word)
+			if len(words[bank]) > degree {
+				degree = len(words[bank])
+			}
+		}
+	}
+	return degree
+}
+
+// uniqueLines coalesces a warp's accesses into unique line addresses.
+// laneBase, when nonzero, disambiguates per-thread (local) address spaces.
+// With coalescing disabled, every access becomes its own transaction.
+func (ls *launchState) uniqueLines(accesses []isa.MemAccess, laneBase uint64) []uint64 {
+	shift := uint(0)
+	for l := ls.g.cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	ls.scratch = ls.scratch[:0]
+	for _, a := range accesses {
+		addr := a.Addr
+		if laneBase != 0 {
+			addr += uint64(a.Lane) << 40
+		}
+		line := (addr >> shift) << shift
+		if ls.g.cfg.NoCoalescing {
+			ls.scratch = append(ls.scratch, line)
+			continue
+		}
+		seen := false
+		for _, x := range ls.scratch {
+			if x == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ls.scratch = append(ls.scratch, line)
+		}
+	}
+	return ls.scratch
+}

@@ -1,0 +1,524 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a PTX-like kernel listing in the format Disassemble
+// produces and rebuilds the Kernel. This makes kernels round-trippable
+// through text — useful for golden tests, hand-authored microbenchmarks
+// and inspecting what the builder emitted.
+func Assemble(src string) (*Kernel, error) {
+	k := &Kernel{}
+	var instrs []Instr
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("isa: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".kernel "):
+			k.Name = strings.TrimSpace(strings.TrimPrefix(line, ".kernel "))
+		case strings.HasPrefix(line, ".regs "):
+			for _, f := range strings.Fields(strings.TrimPrefix(line, ".regs ")) {
+				kv := strings.SplitN(f, "=", 2)
+				if len(kv) != 2 {
+					return nil, fail("bad .regs field %q", f)
+				}
+				n, err := strconv.Atoi(kv[1])
+				if err != nil {
+					return nil, fail("bad .regs count %q", kv[1])
+				}
+				switch kv[0] {
+				case "i":
+					k.NumI = n
+				case "f":
+					k.NumF = n
+				case "p":
+					k.NumP = n
+				default:
+					return nil, fail("unknown register file %q", kv[0])
+				}
+			}
+		case strings.HasPrefix(line, ".shared "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".shared ")))
+			if err != nil {
+				return nil, fail("bad .shared size: %v", err)
+			}
+			k.SharedBytes = n
+		case strings.HasPrefix(line, ".local "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".local ")))
+			if err != nil {
+				return nil, fail("bad .local size: %v", err)
+			}
+			k.LocalBytes = n
+		default:
+			// "PC: instruction"
+			body := line
+			if i := strings.Index(line, ":"); i >= 0 {
+				if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+					body = strings.TrimSpace(line[i+1:])
+				}
+			}
+			ins, err := ParseInstr(body)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			instrs = append(instrs, ins)
+		}
+	}
+	if k.Name == "" {
+		return nil, fmt.Errorf("isa: listing has no .kernel directive")
+	}
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("isa: kernel %s has no instructions", k.Name)
+	}
+	k.Instrs = instrs
+	// Recompute derived register information so hand-edited listings stay
+	// consistent even if .regs was omitted or stale.
+	for _, ins := range instrs {
+		grow := func(file regFile) {
+			def, uses, nu := regRefs(&ins, file)
+			bump := func(r int) {
+				switch file {
+				case fileI:
+					if r+1 > k.NumI {
+						k.NumI = r + 1
+					}
+				case fileF:
+					if r+1 > k.NumF {
+						k.NumF = r + 1
+					}
+				}
+			}
+			if def >= 0 {
+				bump(def)
+			}
+			for i := 0; i < nu; i++ {
+				bump(uses[i])
+			}
+		}
+		grow(fileI)
+		grow(fileF)
+		if ins.Op == OpSetpI || ins.Op == OpSetpF || ins.Op == OpPAnd || ins.Op == OpPOr || ins.Op == OpPNot {
+			if ins.Dst+1 > k.NumP {
+				k.NumP = ins.Dst + 1
+			}
+		}
+		if ins.Op == OpBra && ins.Pred+1 > k.NumP {
+			k.NumP = ins.Pred + 1
+		}
+		if (ins.Op == OpSelI || ins.Op == OpSelF) && ins.Src3+1 > k.NumP {
+			k.NumP = ins.Src3 + 1
+		}
+	}
+	k.PhysI = maxLiveRegs(instrs, k.NumI, fileI)
+	k.PhysF = maxLiveRegs(instrs, k.NumF, fileF)
+	return k, nil
+}
+
+// opByName maps mnemonic names back to opcodes (memory ops and control
+// flow are handled structurally in ParseInstr).
+var opByName = map[string]Op{
+	"nop": OpNop, "iadd": OpIAdd, "isub": OpISub, "imul": OpIMul,
+	"idiv": OpIDiv, "irem": OpIRem, "imin": OpIMin, "imax": OpIMax,
+	"iand": OpIAnd, "ior": OpIOr, "ixor": OpIXor, "shl": OpShl,
+	"shr": OpShr, "ineg": OpINeg, "iabs": OpIAbs, "mov": OpMov,
+	"movi": OpMovI, "fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul,
+	"fmin": OpFMin, "fmax": OpFMax, "fneg": OpFNeg, "fabs": OpFAbs,
+	"fma": OpFMA, "fmov": OpFMov, "fmovi": OpFMovI, "fdiv": OpFDiv,
+	"fsqrt": OpFSqrt, "fexp": OpFExp, "flog": OpFLog, "fsin": OpFSin,
+	"fcos": OpFCos, "fpow": OpFPow, "i2f": OpI2F, "f2i": OpF2I,
+	"pand": OpPAnd, "por": OpPOr, "pnot": OpPNot,
+	"jmp": OpJmp, "bar.sync": OpBar, "exit": OpExit,
+}
+
+var spaceByName = map[string]Space{
+	"global": SpaceGlobal, "shared": SpaceShared, "const": SpaceConst,
+	"tex": SpaceTex, "param": SpaceParam, "local": SpaceLocal,
+}
+
+var memTypeByName = map[string]MemType{
+	"u8": U8, "s32": I32, "s64": I64, "f32": F32, "f64": F64,
+}
+
+var cmpByName = map[string]CmpOp{
+	"eq": CmpEQ, "ne": CmpNE, "lt": CmpLT, "le": CmpLE, "gt": CmpGT, "ge": CmpGE,
+}
+
+var specialByName = map[string]Special{
+	"%tid": SpecTid, "%ctaid": SpecCta, "%ntid": SpecNTid, "%nctaid": SpecNCta,
+}
+
+// ParseInstr parses one instruction in FormatInstr's syntax.
+func ParseInstr(s string) (Instr, error) {
+	var ins Instr
+	s = strings.TrimSpace(s)
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' })
+	if len(fields) == 0 {
+		return ins, fmt.Errorf("empty instruction")
+	}
+	head := fields[0]
+	args := fields[1:]
+
+	reg := func(s string, file byte) (int, error) {
+		if len(s) < 2 || s[0] != file {
+			return 0, fmt.Errorf("expected %c-register, got %q", file, s)
+		}
+		return strconv.Atoi(s[1:])
+	}
+	intArg := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+	// src2 may be a register of the given file or an immediate.
+	src2 := func(s string, file byte) error {
+		if len(s) > 1 && s[0] == file {
+			if n, err := strconv.Atoi(s[1:]); err == nil {
+				ins.Src2 = n
+				return nil
+			}
+		}
+		ins.UseImm = true
+		if file == 'f' {
+			v, err := strconv.ParseFloat(s, 64)
+			ins.FImm = v
+			return err
+		}
+		v, err := intArg(s)
+		ins.Imm = v
+		return err
+	}
+	// Memory operand "[rN+off]" or "[rN-off]".
+	memOperand := func(s string) error {
+		if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+			return fmt.Errorf("bad memory operand %q", s)
+		}
+		inner := s[1 : len(s)-1]
+		sep := strings.IndexAny(inner[1:], "+-")
+		if sep < 0 {
+			return fmt.Errorf("bad memory operand %q", s)
+		}
+		sep++
+		r, err := reg(inner[:sep], 'r')
+		if err != nil {
+			return err
+		}
+		off, err := intArg(inner[sep:])
+		if err != nil {
+			return err
+		}
+		ins.Src1 = r
+		ins.Imm = off
+		return nil
+	}
+
+	// Predicated branch: "@p0 bra T (reconv R)" / "@!p0 bra ...".
+	if strings.HasPrefix(head, "@") {
+		p := strings.TrimPrefix(head, "@")
+		if strings.HasPrefix(p, "!") {
+			ins.Neg = true
+			p = p[1:]
+		}
+		pr, err := reg(p, 'p')
+		if err != nil {
+			return ins, err
+		}
+		if len(args) < 3 || args[0] != "bra" {
+			return ins, fmt.Errorf("bad branch %q", s)
+		}
+		t, err := intArg(args[1])
+		if err != nil {
+			return ins, err
+		}
+		rc, err := intArg(strings.Trim(args[3], "()"))
+		if err != nil || args[2] != "(reconv" {
+			return ins, fmt.Errorf("bad reconvergence in %q", s)
+		}
+		ins.Op = OpBra
+		ins.Pred = pr
+		ins.Target = int(t)
+		ins.Recon = int(rc)
+		return ins, nil
+	}
+
+	parts := strings.Split(head, ".")
+	switch parts[0] {
+	case "ld", "st", "atom":
+		if parts[0] == "atom" {
+			// atom.add.<space> rD, [rA+off], rS
+			if len(parts) != 3 || parts[1] != "add" {
+				return ins, fmt.Errorf("bad atomic %q", s)
+			}
+			sp, ok := spaceByName[parts[2]]
+			if !ok {
+				return ins, fmt.Errorf("unknown space %q", parts[2])
+			}
+			ins.Op = OpAtom
+			ins.Space = sp
+			ins.MType = I32
+			d, err := reg(args[0], 'r')
+			if err != nil {
+				return ins, err
+			}
+			ins.Dst = d
+			if err := memOperand(args[1]); err != nil {
+				return ins, err
+			}
+			src, err := reg(args[2], 'r')
+			if err != nil {
+				return ins, err
+			}
+			ins.Src2 = src
+			return ins, nil
+		}
+		// ld.<space>.<type> dst, [mem] / st.<space>.<type> [mem], src
+		if len(parts) != 3 {
+			return ins, fmt.Errorf("bad memory op %q", s)
+		}
+		sp, ok := spaceByName[parts[1]]
+		if !ok {
+			return ins, fmt.Errorf("unknown space %q", parts[1])
+		}
+		mt, ok := memTypeByName[parts[2]]
+		if !ok {
+			return ins, fmt.Errorf("unknown memory type %q", parts[2])
+		}
+		ins.Space = sp
+		ins.MType = mt
+		float := mt == F32 || mt == F64
+		file := byte('r')
+		if float {
+			file = 'f'
+		}
+		if parts[0] == "ld" {
+			if float {
+				ins.Op = OpLdF
+			} else {
+				ins.Op = OpLd
+			}
+			d, err := reg(args[0], file)
+			if err != nil {
+				return ins, err
+			}
+			ins.Dst = d
+			return ins, memOperand(args[1])
+		}
+		if float {
+			ins.Op = OpStF
+		} else {
+			ins.Op = OpSt
+		}
+		if err := memOperand(args[0]); err != nil {
+			return ins, err
+		}
+		src, err := reg(args[1], file)
+		if err != nil {
+			return ins, err
+		}
+		ins.Src2 = src
+		return ins, nil
+
+	case "setp":
+		// setp.<cmp>.<i|f> pD, a, b
+		if len(parts) != 3 {
+			return ins, fmt.Errorf("bad setp %q", s)
+		}
+		cmp, ok := cmpByName[parts[1]]
+		if !ok {
+			return ins, fmt.Errorf("unknown compare %q", parts[1])
+		}
+		ins.Cmp = cmp
+		d, err := reg(args[0], 'p')
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst = d
+		if parts[2] == "f" {
+			ins.Op = OpSetpF
+			a, err := reg(args[1], 'f')
+			if err != nil {
+				return ins, err
+			}
+			ins.Src1 = a
+			return ins, src2(args[2], 'f')
+		}
+		ins.Op = OpSetpI
+		a, err := reg(args[1], 'r')
+		if err != nil {
+			return ins, err
+		}
+		ins.Src1 = a
+		return ins, src2(args[2], 'r')
+
+	case "sel":
+		// sel.<i|f> d, pP, a, b
+		float := parts[1] == "f"
+		file := byte('r')
+		if float {
+			ins.Op = OpSelF
+			file = 'f'
+		} else {
+			ins.Op = OpSelI
+		}
+		d, err := reg(args[0], file)
+		if err != nil {
+			return ins, err
+		}
+		p, err := reg(args[1], 'p')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[2], file)
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.Src3, ins.Src1 = d, p, a
+		return ins, src2(args[3], file)
+
+	case "rdsp":
+		sp, ok := specialByName[args[1]]
+		if !ok {
+			return ins, fmt.Errorf("unknown special %q", args[1])
+		}
+		d, err := reg(args[0], 'r')
+		if err != nil {
+			return ins, err
+		}
+		ins.Op = OpRdSp
+		ins.Dst = d
+		ins.Sp = sp
+		return ins, nil
+	}
+
+	op, ok := opByName[head]
+	if !ok {
+		return ins, fmt.Errorf("unknown opcode %q", head)
+	}
+	ins.Op = op
+	switch op {
+	case OpNop, OpBar, OpExit:
+		return ins, nil
+	case OpJmp:
+		t, err := intArg(args[0])
+		ins.Target = int(t)
+		return ins, err
+	case OpMovI:
+		d, err := reg(args[0], 'r')
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst = d
+		ins.UseImm = true
+		v, err := intArg(args[1])
+		ins.Imm = v
+		return ins, err
+	case OpFMovI:
+		d, err := reg(args[0], 'f')
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst = d
+		ins.UseImm = true
+		v, err := strconv.ParseFloat(args[1], 64)
+		ins.FImm = v
+		return ins, err
+	case OpMov, OpINeg, OpIAbs:
+		d, err := reg(args[0], 'r')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'r')
+		ins.Dst, ins.Src1 = d, a
+		return ins, err
+	case OpFMov, OpFNeg, OpFAbs, OpFSqrt, OpFExp, OpFLog, OpFSin, OpFCos:
+		d, err := reg(args[0], 'f')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'f')
+		ins.Dst, ins.Src1 = d, a
+		return ins, err
+	case OpI2F:
+		d, err := reg(args[0], 'f')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'r')
+		ins.Dst, ins.Src1 = d, a
+		return ins, err
+	case OpF2I:
+		d, err := reg(args[0], 'r')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'f')
+		ins.Dst, ins.Src1 = d, a
+		return ins, err
+	case OpFMA:
+		d, err := reg(args[0], 'f')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'f')
+		if err != nil {
+			return ins, err
+		}
+		b, err := reg(args[2], 'f')
+		if err != nil {
+			return ins, err
+		}
+		c, err := reg(args[3], 'f')
+		ins.Dst, ins.Src1, ins.Src2, ins.Src3 = d, a, b, c
+		return ins, err
+	case OpPAnd, OpPOr:
+		d, err := reg(args[0], 'p')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'p')
+		if err != nil {
+			return ins, err
+		}
+		b, err := reg(args[2], 'p')
+		ins.Dst, ins.Src1, ins.Src2 = d, a, b
+		return ins, err
+	case OpPNot:
+		d, err := reg(args[0], 'p')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'p')
+		ins.Dst, ins.Src1 = d, a
+		return ins, err
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMin, OpFMax, OpFPow:
+		d, err := reg(args[0], 'f')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'f')
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.Src1 = d, a
+		return ins, src2(args[2], 'f')
+	default: // integer two-source ALU
+		d, err := reg(args[0], 'r')
+		if err != nil {
+			return ins, err
+		}
+		a, err := reg(args[1], 'r')
+		if err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.Src1 = d, a
+		return ins, src2(args[2], 'r')
+	}
+}

@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildRoundTripKernel exercises every syntactic form the assembler must
+// handle.
+func buildRoundTripKernel() *Kernel {
+	b := NewBuilder()
+	b.SetShared(256)
+	b.SetLocal(64)
+	tid, addr, v := b.I(), b.I(), b.I()
+	x, y := b.F(), b.F()
+	p, q := b.P(), b.P()
+	b.Rd(tid, SpecTid)
+	b.Rd(addr, SpecCta)
+	b.MovI(v, -12)
+	b.MovF(x, 2.5)
+	b.IAdd(addr, tid, v)
+	b.IAddI(addr, addr, 8)
+	b.ShlI(addr, addr, 2)
+	b.SetpII(p, CmpLT, tid, 100)
+	b.SetpF(q, CmpGE, x, y)
+	b.PAnd(p, p, q)
+	b.If(p, func() {
+		b.LdF(y, F32, SpaceGlobal, addr, 4)
+		b.FMA(y, y, x, x)
+		b.Sqrt(y, y)
+		b.StF(F32, SpaceShared, addr, -8, y)
+		b.Ld(v, U8, SpaceTex, addr, 0)
+		b.St(I64, SpaceLocal, addr, 16, v)
+	}, func() {
+		b.AtomAdd(v, SpaceGlobal, addr, 0, tid)
+		b.SelI(v, q, tid, addr)
+		b.SelF(y, p, x, y)
+	})
+	b.Bar()
+	i := b.I()
+	b.ForI(i, 0, 4, 1, func() {
+		b.I2F(y, i)
+		b.F2I(v, y)
+		b.FDivI(y, y, 3)
+	})
+	return b.Build("roundtrip")
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	k := buildRoundTripKernel()
+	text := Disassemble(k)
+	k2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("Assemble failed: %v\n%s", err, text)
+	}
+	if k2.Name != k.Name {
+		t.Fatalf("name %q != %q", k2.Name, k.Name)
+	}
+	if k2.SharedBytes != k.SharedBytes || k2.LocalBytes != k.LocalBytes {
+		t.Fatalf("resources differ: %d/%d vs %d/%d", k2.SharedBytes, k2.LocalBytes, k.SharedBytes, k.LocalBytes)
+	}
+	if len(k2.Instrs) != len(k.Instrs) {
+		t.Fatalf("instruction count %d != %d", len(k2.Instrs), len(k.Instrs))
+	}
+	for pc := range k.Instrs {
+		a, b := FormatInstr(&k.Instrs[pc]), FormatInstr(&k2.Instrs[pc])
+		if a != b {
+			t.Fatalf("pc %d: %q != %q", pc, b, a)
+		}
+	}
+	if k2.Regs() != k.Regs() {
+		t.Fatalf("physical registers %d != %d", k2.Regs(), k.Regs())
+	}
+}
+
+func TestAssembledKernelExecutes(t *testing.T) {
+	// A complete kernel written as text: out[tid] = tid*3 for tid < 8.
+	src := `
+.kernel triple
+.regs i=4 f=0 p=1
+ 0: rdsp r0, %tid
+ 1: ld.param.s64 r1, [r3+0]
+ 2: setp.lt.i p0, r0, 8
+ 3: @!p0 bra 8 (reconv 8)
+ 4: imul r2, r0, 3
+ 5: shl r3, r0, 3
+ 6: iadd r3, r3, r1
+ 7: st.global.s64 [r3+0], r2
+ 8: exit
+`
+	k, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	out := mem.AllocGlobal(32 * 8)
+	mem.SetParamI(0, int64(out))
+	var ex Functional
+	if err := ex.Launch(k, Launch{Grid: 1, Block: 32}, mem); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		want := int64(0)
+		if i < 8 {
+			want = int64(i * 3)
+		}
+		if got := mem.ReadI64(SpaceGlobal, out+uint64(i*8)); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAssembleInfersRegisterCounts(t *testing.T) {
+	src := `
+.kernel infer
+ 0: rdsp r5, %tid
+ 1: fmovi f2, 1.5
+ 2: setp.eq.i p3, r5, 0
+ 3: exit
+`
+	k, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumI < 6 || k.NumF < 3 || k.NumP < 4 {
+		t.Fatalf("inferred regs i=%d f=%d p=%d", k.NumI, k.NumF, k.NumP)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no kernel", "0: exit"},
+		{"no instructions", ".kernel empty"},
+		{"bad opcode", ".kernel x\n0: frobnicate r0, r1"},
+		{"bad register", ".kernel x\n0: iadd q0, r1, r2"},
+		{"bad mem operand", ".kernel x\n0: ld.global.s32 r0, r1"},
+		{"bad space", ".kernel x\n0: ld.venus.s32 r0, [r1+0]"},
+		{"bad branch", ".kernel x\n0: @p0 bra nowhere (reconv 2)"},
+		{"bad shared", ".kernel x\n.shared lots\n0: exit"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDisassembleParsesItsOwnComments(t *testing.T) {
+	k := buildRoundTripKernel()
+	text := Disassemble(k)
+	if !strings.Contains(text, "// live:") {
+		t.Fatal("header comment missing")
+	}
+	// Comments must be ignored by the parser.
+	if _, err := Assemble(text + "\n// trailing comment\n"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,463 @@
+package isa
+
+import "fmt"
+
+// IReg, FReg and PReg are typed handles into the integer, float and
+// predicate register files. The distinct types keep builder call sites
+// honest about which file an operand lives in.
+type (
+	// IReg names an integer register.
+	IReg int
+	// FReg names a float register.
+	FReg int
+	// PReg names a predicate register.
+	PReg int
+)
+
+// Builder assembles a Kernel. Control flow is structured: If, While and For
+// emit branches annotated with their reconvergence PC, which is what the
+// SIMT stack in the executor needs to handle divergence.
+//
+// A zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	instrs      []Instr
+	ni, nf, np  int
+	sharedBytes int
+	localBytes  int
+	patches     []patch
+	labels      []int
+	err         error
+}
+
+type patch struct {
+	pc     int
+	target int // label id for Target, -1 if unused
+	recon  int // label id for Recon, -1 if unused
+}
+
+// NewBuilder returns an empty kernel builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// I allocates a fresh integer register.
+func (b *Builder) I() IReg { r := IReg(b.ni); b.ni++; return r }
+
+// F allocates a fresh float register.
+func (b *Builder) F() FReg { r := FReg(b.nf); b.nf++; return r }
+
+// P allocates a fresh predicate register.
+func (b *Builder) P() PReg { r := PReg(b.np); b.np++; return r }
+
+// SetShared declares the kernel's static shared-memory footprint in bytes.
+func (b *Builder) SetShared(n int) { b.sharedBytes = n }
+
+// SetLocal declares the kernel's per-thread local-memory footprint in bytes.
+func (b *Builder) SetLocal(n int) { b.localBytes = n }
+
+func (b *Builder) emit(i Instr) int {
+	pc := len(b.instrs)
+	b.instrs = append(b.instrs, i)
+	return pc
+}
+
+func (b *Builder) newLabel() int {
+	id := len(b.labels)
+	b.labels = append(b.labels, -1)
+	return id
+}
+
+func (b *Builder) bind(label int) {
+	b.labels[label] = len(b.instrs)
+}
+
+// --- Moves and conversions ---
+
+// MovI loads an integer immediate.
+func (b *Builder) MovI(d IReg, v int64) {
+	b.emit(Instr{Op: OpMovI, Dst: int(d), Imm: v, UseImm: true})
+}
+
+// MovF loads a float immediate.
+func (b *Builder) MovF(d FReg, v float64) {
+	b.emit(Instr{Op: OpFMovI, Dst: int(d), FImm: v, UseImm: true})
+}
+
+// Mov copies an integer register.
+func (b *Builder) Mov(d, s IReg) { b.emit(Instr{Op: OpMov, Dst: int(d), Src1: int(s)}) }
+
+// FMov copies a float register.
+func (b *Builder) FMov(d, s FReg) { b.emit(Instr{Op: OpFMov, Dst: int(d), Src1: int(s)}) }
+
+// I2F converts an integer register to float.
+func (b *Builder) I2F(d FReg, s IReg) { b.emit(Instr{Op: OpI2F, Dst: int(d), Src1: int(s)}) }
+
+// F2I truncates a float register to integer.
+func (b *Builder) F2I(d IReg, s FReg) { b.emit(Instr{Op: OpF2I, Dst: int(d), Src1: int(s)}) }
+
+// Rd reads a special register (thread/block indices and dimensions).
+func (b *Builder) Rd(d IReg, sp Special) { b.emit(Instr{Op: OpRdSp, Dst: int(d), Sp: sp}) }
+
+// --- Integer ALU ---
+
+func (b *Builder) iop(op Op, d, a, s IReg) {
+	b.emit(Instr{Op: op, Dst: int(d), Src1: int(a), Src2: int(s)})
+}
+
+func (b *Builder) iopImm(op Op, d, a IReg, imm int64) {
+	b.emit(Instr{Op: op, Dst: int(d), Src1: int(a), Imm: imm, UseImm: true})
+}
+
+// IAdd emits d = a + s.
+func (b *Builder) IAdd(d, a, s IReg) { b.iop(OpIAdd, d, a, s) }
+
+// IAddI emits d = a + imm.
+func (b *Builder) IAddI(d, a IReg, imm int64) { b.iopImm(OpIAdd, d, a, imm) }
+
+// ISub emits d = a - s.
+func (b *Builder) ISub(d, a, s IReg) { b.iop(OpISub, d, a, s) }
+
+// ISubI emits d = a - imm.
+func (b *Builder) ISubI(d, a IReg, imm int64) { b.iopImm(OpISub, d, a, imm) }
+
+// IMul emits d = a * s.
+func (b *Builder) IMul(d, a, s IReg) { b.iop(OpIMul, d, a, s) }
+
+// IMulI emits d = a * imm.
+func (b *Builder) IMulI(d, a IReg, imm int64) { b.iopImm(OpIMul, d, a, imm) }
+
+// IDiv emits d = a / s (truncated; division by zero yields zero).
+func (b *Builder) IDiv(d, a, s IReg) { b.iop(OpIDiv, d, a, s) }
+
+// IDivI emits d = a / imm.
+func (b *Builder) IDivI(d, a IReg, imm int64) { b.iopImm(OpIDiv, d, a, imm) }
+
+// IRem emits d = a % s (remainder by zero yields zero).
+func (b *Builder) IRem(d, a, s IReg) { b.iop(OpIRem, d, a, s) }
+
+// IRemI emits d = a % imm.
+func (b *Builder) IRemI(d, a IReg, imm int64) { b.iopImm(OpIRem, d, a, imm) }
+
+// IMin emits d = min(a, s).
+func (b *Builder) IMin(d, a, s IReg) { b.iop(OpIMin, d, a, s) }
+
+// IMinI emits d = min(a, imm).
+func (b *Builder) IMinI(d, a IReg, imm int64) { b.iopImm(OpIMin, d, a, imm) }
+
+// IMax emits d = max(a, s).
+func (b *Builder) IMax(d, a, s IReg) { b.iop(OpIMax, d, a, s) }
+
+// IMaxI emits d = max(a, imm).
+func (b *Builder) IMaxI(d, a IReg, imm int64) { b.iopImm(OpIMax, d, a, imm) }
+
+// IAnd emits d = a & s.
+func (b *Builder) IAnd(d, a, s IReg) { b.iop(OpIAnd, d, a, s) }
+
+// IAndI emits d = a & imm.
+func (b *Builder) IAndI(d, a IReg, imm int64) { b.iopImm(OpIAnd, d, a, imm) }
+
+// IOr emits d = a | s.
+func (b *Builder) IOr(d, a, s IReg) { b.iop(OpIOr, d, a, s) }
+
+// IXor emits d = a ^ s.
+func (b *Builder) IXor(d, a, s IReg) { b.iop(OpIXor, d, a, s) }
+
+// ShlI emits d = a << imm.
+func (b *Builder) ShlI(d, a IReg, imm int64) { b.iopImm(OpShl, d, a, imm) }
+
+// ShrI emits d = a >> imm (arithmetic).
+func (b *Builder) ShrI(d, a IReg, imm int64) { b.iopImm(OpShr, d, a, imm) }
+
+// INeg emits d = -a.
+func (b *Builder) INeg(d, a IReg) { b.emit(Instr{Op: OpINeg, Dst: int(d), Src1: int(a)}) }
+
+// IAbs emits d = |a|.
+func (b *Builder) IAbs(d, a IReg) { b.emit(Instr{Op: OpIAbs, Dst: int(d), Src1: int(a)}) }
+
+// --- Float ALU ---
+
+func (b *Builder) fop(op Op, d, a, s FReg) {
+	b.emit(Instr{Op: op, Dst: int(d), Src1: int(a), Src2: int(s)})
+}
+
+func (b *Builder) fopImm(op Op, d, a FReg, imm float64) {
+	b.emit(Instr{Op: op, Dst: int(d), Src1: int(a), FImm: imm, UseImm: true})
+}
+
+// FAdd emits d = a + s.
+func (b *Builder) FAdd(d, a, s FReg) { b.fop(OpFAdd, d, a, s) }
+
+// FAddI emits d = a + imm.
+func (b *Builder) FAddI(d, a FReg, imm float64) { b.fopImm(OpFAdd, d, a, imm) }
+
+// FSub emits d = a - s.
+func (b *Builder) FSub(d, a, s FReg) { b.fop(OpFSub, d, a, s) }
+
+// FSubI emits d = a - imm.
+func (b *Builder) FSubI(d, a FReg, imm float64) { b.fopImm(OpFSub, d, a, imm) }
+
+// FMul emits d = a * s.
+func (b *Builder) FMul(d, a, s FReg) { b.fop(OpFMul, d, a, s) }
+
+// FMulI emits d = a * imm.
+func (b *Builder) FMulI(d, a FReg, imm float64) { b.fopImm(OpFMul, d, a, imm) }
+
+// FDiv emits d = a / s on the SFU.
+func (b *Builder) FDiv(d, a, s FReg) { b.fop(OpFDiv, d, a, s) }
+
+// FDivI emits d = a / imm on the SFU.
+func (b *Builder) FDivI(d, a FReg, imm float64) { b.fopImm(OpFDiv, d, a, imm) }
+
+// FMin emits d = min(a, s).
+func (b *Builder) FMin(d, a, s FReg) { b.fop(OpFMin, d, a, s) }
+
+// FMax emits d = max(a, s).
+func (b *Builder) FMax(d, a, s FReg) { b.fop(OpFMax, d, a, s) }
+
+// FNeg emits d = -a.
+func (b *Builder) FNeg(d, a FReg) { b.emit(Instr{Op: OpFNeg, Dst: int(d), Src1: int(a)}) }
+
+// FAbs emits d = |a|.
+func (b *Builder) FAbs(d, a FReg) { b.emit(Instr{Op: OpFAbs, Dst: int(d), Src1: int(a)}) }
+
+// FMA emits d = a*s + c.
+func (b *Builder) FMA(d, a, s, c FReg) {
+	b.emit(Instr{Op: OpFMA, Dst: int(d), Src1: int(a), Src2: int(s), Src3: int(c)})
+}
+
+// Sqrt emits d = sqrt(a) on the SFU.
+func (b *Builder) Sqrt(d, a FReg) { b.emit(Instr{Op: OpFSqrt, Dst: int(d), Src1: int(a)}) }
+
+// Exp emits d = e**a on the SFU.
+func (b *Builder) Exp(d, a FReg) { b.emit(Instr{Op: OpFExp, Dst: int(d), Src1: int(a)}) }
+
+// Log emits d = ln(a) on the SFU.
+func (b *Builder) Log(d, a FReg) { b.emit(Instr{Op: OpFLog, Dst: int(d), Src1: int(a)}) }
+
+// Sin emits d = sin(a) on the SFU.
+func (b *Builder) Sin(d, a FReg) { b.emit(Instr{Op: OpFSin, Dst: int(d), Src1: int(a)}) }
+
+// Cos emits d = cos(a) on the SFU.
+func (b *Builder) Cos(d, a FReg) { b.emit(Instr{Op: OpFCos, Dst: int(d), Src1: int(a)}) }
+
+// --- Predicates ---
+
+// SetpI emits p = a <cmp> s over integers.
+func (b *Builder) SetpI(p PReg, cmp CmpOp, a, s IReg) {
+	b.emit(Instr{Op: OpSetpI, Dst: int(p), Cmp: cmp, Src1: int(a), Src2: int(s)})
+}
+
+// SetpII emits p = a <cmp> imm over integers.
+func (b *Builder) SetpII(p PReg, cmp CmpOp, a IReg, imm int64) {
+	b.emit(Instr{Op: OpSetpI, Dst: int(p), Cmp: cmp, Src1: int(a), Imm: imm, UseImm: true})
+}
+
+// SetpF emits p = a <cmp> s over floats.
+func (b *Builder) SetpF(p PReg, cmp CmpOp, a, s FReg) {
+	b.emit(Instr{Op: OpSetpF, Dst: int(p), Cmp: cmp, Src1: int(a), Src2: int(s)})
+}
+
+// SetpFI emits p = a <cmp> imm over floats.
+func (b *Builder) SetpFI(p PReg, cmp CmpOp, a FReg, imm float64) {
+	b.emit(Instr{Op: OpSetpF, Dst: int(p), Cmp: cmp, Src1: int(a), FImm: imm, UseImm: true})
+}
+
+// PAnd emits p = a && s.
+func (b *Builder) PAnd(p, a, s PReg) {
+	b.emit(Instr{Op: OpPAnd, Dst: int(p), Src1: int(a), Src2: int(s)})
+}
+
+// POr emits p = a || s.
+func (b *Builder) POr(p, a, s PReg) {
+	b.emit(Instr{Op: OpPOr, Dst: int(p), Src1: int(a), Src2: int(s)})
+}
+
+// PNot emits p = !a.
+func (b *Builder) PNot(p, a PReg) { b.emit(Instr{Op: OpPNot, Dst: int(p), Src1: int(a)}) }
+
+// SelI emits d = p ? a : s over integers (branchless select).
+func (b *Builder) SelI(d IReg, p PReg, a, s IReg) {
+	b.emit(Instr{Op: OpSelI, Dst: int(d), Src1: int(a), Src2: int(s), Src3: int(p)})
+}
+
+// SelF emits d = p ? a : s over floats.
+func (b *Builder) SelF(d FReg, p PReg, a, s FReg) {
+	b.emit(Instr{Op: OpSelF, Dst: int(d), Src1: int(a), Src2: int(s), Src3: int(p)})
+}
+
+// --- Memory ---
+
+// Ld emits an integer-typed load: d = space[addr + off].
+func (b *Builder) Ld(d IReg, t MemType, space Space, addr IReg, off int64) {
+	if t == F32 || t == F64 {
+		b.fail("Ld used with float type %v", t)
+	}
+	b.emit(Instr{Op: OpLd, Dst: int(d), Src1: int(addr), Imm: off, Space: space, MType: t})
+}
+
+// LdF emits a float-typed load: d = space[addr + off].
+func (b *Builder) LdF(d FReg, t MemType, space Space, addr IReg, off int64) {
+	if t != F32 && t != F64 {
+		b.fail("LdF used with non-float type %v", t)
+	}
+	b.emit(Instr{Op: OpLdF, Dst: int(d), Src1: int(addr), Imm: off, Space: space, MType: t})
+}
+
+// St emits an integer-typed store: space[addr + off] = src.
+func (b *Builder) St(t MemType, space Space, addr IReg, off int64, src IReg) {
+	if t == F32 || t == F64 {
+		b.fail("St used with float type %v", t)
+	}
+	b.emit(Instr{Op: OpSt, Src1: int(addr), Imm: off, Src2: int(src), Space: space, MType: t})
+}
+
+// StF emits a float-typed store: space[addr + off] = src.
+func (b *Builder) StF(t MemType, space Space, addr IReg, off int64, src FReg) {
+	if t != F32 && t != F64 {
+		b.fail("StF used with non-float type %v", t)
+	}
+	b.emit(Instr{Op: OpStF, Src1: int(addr), Imm: off, Src2: int(src), Space: space, MType: t})
+}
+
+// AtomAdd emits d = atomic-fetch-add(space[addr+off], src) over int32.
+func (b *Builder) AtomAdd(d IReg, space Space, addr IReg, off int64, src IReg) {
+	b.emit(Instr{Op: OpAtom, Dst: int(d), Src1: int(addr), Imm: off, Src2: int(src), Space: space, MType: I32})
+}
+
+// LdParamI loads the 64-bit integer kernel parameter in slot idx.
+func (b *Builder) LdParamI(d IReg, idx int) {
+	zero := b.I()
+	b.MovI(zero, 0)
+	b.Ld(d, I64, SpaceParam, zero, int64(idx*8))
+}
+
+// LdParamF loads the 64-bit float kernel parameter in slot idx.
+func (b *Builder) LdParamF(d FReg, idx int) {
+	zero := b.I()
+	b.MovI(zero, 0)
+	b.LdF(d, F64, SpaceParam, zero, int64(idx*8))
+}
+
+// Bar emits a CTA-wide barrier.
+func (b *Builder) Bar() { b.emit(Instr{Op: OpBar}) }
+
+// Exit emits a thread exit.
+func (b *Builder) Exit() { b.emit(Instr{Op: OpExit}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: OpNop}) }
+
+// --- Structured control flow ---
+
+// If emits a divergent conditional. The then and else bodies (els may be
+// nil) reconverge at the instruction following the construct.
+func (b *Builder) If(p PReg, then func(), els func()) {
+	join := b.newLabel()
+	if els == nil {
+		// @!p bra join
+		bra := b.emit(Instr{Op: OpBra, Pred: int(p), Neg: true})
+		b.patches = append(b.patches, patch{pc: bra, target: join, recon: join})
+		then()
+		b.bind(join)
+		return
+	}
+	elseL := b.newLabel()
+	bra := b.emit(Instr{Op: OpBra, Pred: int(p), Neg: true})
+	b.patches = append(b.patches, patch{pc: bra, target: elseL, recon: join})
+	then()
+	jmp := b.emit(Instr{Op: OpJmp})
+	b.patches = append(b.patches, patch{pc: jmp, target: join, recon: -1})
+	b.bind(elseL)
+	els()
+	b.bind(join)
+}
+
+// While emits a divergent loop. cond must emit code computing the loop
+// predicate and return its register; body is the loop body. Threads that
+// fail the condition wait at the loop exit (the reconvergence point) for
+// the rest of their warp.
+func (b *Builder) While(cond func() PReg, body func()) {
+	top := b.newLabel()
+	exit := b.newLabel()
+	b.bind(top)
+	p := cond()
+	bra := b.emit(Instr{Op: OpBra, Pred: int(p), Neg: true})
+	b.patches = append(b.patches, patch{pc: bra, target: exit, recon: exit})
+	body()
+	jmp := b.emit(Instr{Op: OpJmp})
+	b.patches = append(b.patches, patch{pc: jmp, target: top, recon: -1})
+	b.bind(exit)
+}
+
+// For emits a counted loop: for i = start; i < bound; i += step. The bound
+// is a register, so per-thread trip counts may diverge.
+func (b *Builder) For(i IReg, start int64, bound IReg, step int64, body func()) {
+	b.MovI(i, start)
+	p := b.P()
+	b.While(func() PReg {
+		b.SetpI(p, CmpLT, i, bound)
+		return p
+	}, func() {
+		body()
+		b.IAddI(i, i, step)
+	})
+}
+
+// ForI emits a counted loop with an immediate bound.
+func (b *Builder) ForI(i IReg, start, bound, step int64, body func()) {
+	b.MovI(i, start)
+	p := b.P()
+	b.While(func() PReg {
+		b.SetpII(p, CmpLT, i, bound)
+		return p
+	}, func() {
+		body()
+		b.IAddI(i, i, step)
+	})
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: "+format, args...)
+	}
+}
+
+// Build finalizes the kernel, resolving branch targets and reconvergence
+// points. It panics if the builder was misused (unresolved labels or typed
+// memory-op misuse), which is a programming error in kernel construction.
+func (b *Builder) Build(name string) *Kernel {
+	if b.err != nil {
+		panic(b.err)
+	}
+	// Ensure the instruction stream terminates.
+	if n := len(b.instrs); n == 0 || b.instrs[n-1].Op != OpExit {
+		b.Exit()
+	}
+	for _, p := range b.patches {
+		if p.target >= 0 {
+			pc := b.labels[p.target]
+			if pc < 0 {
+				panic(fmt.Errorf("isa: kernel %s: unbound target label", name))
+			}
+			b.instrs[p.pc].Target = pc
+		}
+		if p.recon >= 0 {
+			pc := b.labels[p.recon]
+			if pc < 0 {
+				panic(fmt.Errorf("isa: kernel %s: unbound reconvergence label", name))
+			}
+			b.instrs[p.pc].Recon = pc
+		}
+	}
+	return &Kernel{
+		Name:        name,
+		Instrs:      b.instrs,
+		NumI:        b.ni,
+		NumF:        b.nf,
+		NumP:        b.np,
+		PhysI:       maxLiveRegs(b.instrs, b.ni, fileI),
+		PhysF:       maxLiveRegs(b.instrs, b.nf, fileF),
+		SharedBytes: b.sharedBytes,
+		LocalBytes:  b.localBytes,
+	}
+}

@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversKernel(t *testing.T) {
+	b := NewBuilder()
+	b.SetShared(128)
+	tid, addr, v := b.I(), b.I(), b.I()
+	x := b.F()
+	p := b.P()
+	b.Rd(tid, SpecTid)
+	b.MovI(v, 7)
+	b.IAdd(addr, tid, v)
+	b.SetpII(p, CmpLT, tid, 8)
+	b.If(p, func() {
+		b.LdF(x, F32, SpaceGlobal, addr, 16)
+		b.Sqrt(x, x)
+		b.StF(F32, SpaceShared, addr, -4, x)
+	}, func() {
+		b.AtomAdd(v, SpaceGlobal, addr, 0, tid)
+	})
+	b.Bar()
+	k := b.Build("demo")
+
+	out := Disassemble(k)
+	for _, want := range []string{
+		".kernel demo",
+		"rdsp r0, %tid",
+		"movi r",
+		"setp.lt.i p0",
+		"bra",
+		"(reconv",
+		"ld.global.f32 f0, [r1+16]",
+		"fsqrt f0, f0",
+		"st.shared.f32 [r1-4], f0",
+		"atom.add.global",
+		"bar.sync",
+		"exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Every PC appears exactly once after the header directives
+	// (.kernel, .regs, .shared here; no .local for this kernel).
+	lines := strings.Count(out, "\n")
+	if lines != len(k.Instrs)+3 {
+		t.Fatalf("disassembly has %d lines for %d instructions", lines, len(k.Instrs))
+	}
+}
+
+func TestFormatInstrAllOpcodesNonEmpty(t *testing.T) {
+	// Every opcode must render to something meaningful.
+	for op := OpNop; op <= OpExit; op++ {
+		ins := Instr{Op: op}
+		s := FormatInstr(&ins)
+		if s == "" || strings.Contains(s, "...") && op != OpNop {
+			// "..." marks an unhandled opcode.
+			if strings.Contains(s, "...") {
+				t.Errorf("opcode %v not handled by FormatInstr: %q", op, s)
+			}
+		}
+	}
+}

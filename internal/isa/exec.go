@@ -1,0 +1,470 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// WarpSize is the number of threads executed in SIMT lockstep. The SIMD
+// pipeline width of a simulated GPU may be narrower; the timing model then
+// charges multiple issue cycles per warp instruction.
+const WarpSize = 32
+
+// Thread holds one thread's architectural state.
+type Thread struct {
+	I      []int64
+	F      []float64
+	P      []bool
+	Tid    int // thread index within the CTA
+	Cta    int // CTA index within the grid
+	Local  []byte
+	Exited bool
+}
+
+// Env is the memory environment a warp executes against: the launch-wide
+// Memory plus its CTA's shared-memory arena and the launch geometry.
+type Env struct {
+	Mem      *Memory
+	Shared   []byte
+	BlockDim int
+	GridDim  int
+}
+
+// MemAccess describes one lane's memory access within a warp instruction.
+type MemAccess struct {
+	Lane  int
+	Addr  uint64
+	Size  int
+	Store bool
+}
+
+// Step reports what a warp did for one executed instruction. The timing
+// simulator prices the step; the functional executor ignores it.
+type Step struct {
+	Instr       *Instr
+	PC          int
+	ActiveMask  uint32
+	ActiveCount int
+	Accesses    []MemAccess // only for ClassMem instructions
+	AtBarrier   bool        // warp stopped at a barrier
+	Done        bool        // all threads exited
+	Diverged    bool        // a branch split the warp
+}
+
+type simtEntry struct {
+	pc, rpc int
+	mask    uint32
+}
+
+// Warp executes up to WarpSize threads in lockstep using a SIMT
+// reconvergence stack (Fung et al.; the mechanism GPGPU-Sim models).
+type Warp struct {
+	Kernel  *Kernel
+	Threads [WarpSize]*Thread
+	ID      int // warp index within its CTA
+
+	stack     []simtEntry
+	atBarrier bool
+	done      bool
+	accessBuf []MemAccess
+}
+
+// NewWarp builds a warp over the given threads (entries may be nil for a
+// partially filled trailing warp).
+func NewWarp(k *Kernel, id int, threads []*Thread) *Warp {
+	w := &Warp{Kernel: k, ID: id}
+	var mask uint32
+	for i, t := range threads {
+		if i >= WarpSize {
+			break
+		}
+		if t != nil {
+			w.Threads[i] = t
+			mask |= 1 << uint(i)
+		}
+	}
+	w.stack = []simtEntry{{pc: 0, rpc: -1, mask: mask}}
+	if mask == 0 {
+		w.done = true
+	}
+	return w
+}
+
+// Done reports whether every thread in the warp has exited.
+func (w *Warp) Done() bool { return w.done }
+
+// AtBarrier reports whether the warp is waiting at a CTA barrier.
+func (w *Warp) AtBarrier() bool { return w.atBarrier }
+
+// ReleaseBarrier resumes a warp waiting at a barrier.
+func (w *Warp) ReleaseBarrier() { w.atBarrier = false }
+
+// top pops fully reconverged entries and returns the active stack top, or
+// nil if the warp has finished.
+func (w *Warp) top() *simtEntry {
+	for len(w.stack) > 0 {
+		e := &w.stack[len(w.stack)-1]
+		if e.mask == 0 || (e.rpc >= 0 && e.pc == e.rpc) {
+			// Reconverged (or emptied by exits): merge control back.
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return e
+	}
+	w.done = true
+	return nil
+}
+
+// Peek returns the next instruction the warp will execute, or nil if done.
+func (w *Warp) Peek() *Instr {
+	e := w.top()
+	if e == nil {
+		return nil
+	}
+	return &w.Kernel.Instrs[e.pc]
+}
+
+// Exec executes one warp instruction, updating architectural state, and
+// returns a Step describing it. Exec must not be called while the warp is
+// at a barrier or after it is done.
+func (w *Warp) Exec(env *Env) (Step, error) {
+	e := w.top()
+	if e == nil {
+		return Step{Done: true}, nil
+	}
+	if w.atBarrier {
+		return Step{}, fmt.Errorf("isa: Exec on warp waiting at barrier")
+	}
+	pc := e.pc
+	ins := &w.Kernel.Instrs[pc]
+	st := Step{
+		Instr:       ins,
+		PC:          pc,
+		ActiveMask:  e.mask,
+		ActiveCount: bits.OnesCount32(e.mask),
+	}
+
+	switch ins.Op {
+	case OpBra:
+		var taken, notTaken uint32
+		for lane := 0; lane < WarpSize; lane++ {
+			if e.mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			t := w.Threads[lane]
+			p := t.P[ins.Pred]
+			if ins.Neg {
+				p = !p
+			}
+			if p {
+				taken |= 1 << uint(lane)
+			} else {
+				notTaken |= 1 << uint(lane)
+			}
+		}
+		switch {
+		case notTaken == 0:
+			e.pc = ins.Target
+		case taken == 0:
+			e.pc = pc + 1
+		default:
+			// Divergence: the current entry becomes the reconvergence
+			// entry; push the fall-through path, then the taken path.
+			st.Diverged = true
+			e.pc = ins.Recon
+			w.stack = append(w.stack,
+				simtEntry{pc: pc + 1, rpc: ins.Recon, mask: notTaken},
+				simtEntry{pc: ins.Target, rpc: ins.Recon, mask: taken},
+			)
+		}
+		return st, nil
+
+	case OpJmp:
+		e.pc = ins.Target
+		return st, nil
+
+	case OpBar:
+		w.atBarrier = true
+		e.pc = pc + 1
+		st.AtBarrier = true
+		return st, nil
+
+	case OpExit:
+		exiting := e.mask
+		for lane := 0; lane < WarpSize; lane++ {
+			if exiting&(1<<uint(lane)) != 0 {
+				w.Threads[lane].Exited = true
+			}
+		}
+		// Remove the exiting lanes from every stack entry so they never
+		// resume at a reconvergence point.
+		for i := range w.stack {
+			w.stack[i].mask &^= exiting
+		}
+		if w.top() == nil {
+			st.Done = true
+		}
+		return st, nil
+
+	case OpLd, OpLdF, OpSt, OpStF, OpAtom:
+		w.accessBuf = w.accessBuf[:0]
+		for lane := 0; lane < WarpSize; lane++ {
+			if e.mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			t := w.Threads[lane]
+			addr := uint64(t.I[ins.Src1] + ins.Imm)
+			if err := w.execMem(env, t, ins, addr); err != nil {
+				return st, fmt.Errorf("kernel %s pc=%d (%v %v): cta=%d tid=%d: %w",
+					w.Kernel.Name, pc, ins.Op, ins.Space, t.Cta, t.Tid, err)
+			}
+			w.accessBuf = append(w.accessBuf, MemAccess{
+				Lane:  lane,
+				Addr:  addr,
+				Size:  ins.MType.Size(),
+				Store: ins.Op == OpSt || ins.Op == OpStF || ins.Op == OpAtom,
+			})
+		}
+		st.Accesses = w.accessBuf
+		e.pc = pc + 1
+		return st, nil
+
+	default:
+		for lane := 0; lane < WarpSize; lane++ {
+			if e.mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			w.execALU(env, w.Threads[lane], ins)
+		}
+		e.pc = pc + 1
+		return st, nil
+	}
+}
+
+func (w *Warp) spaceArena(env *Env, t *Thread, s Space) []byte {
+	switch s {
+	case SpaceShared:
+		return env.Shared
+	case SpaceLocal:
+		return t.Local
+	default:
+		return env.Mem.arena(s)
+	}
+}
+
+func (w *Warp) execMem(env *Env, t *Thread, ins *Instr, addr uint64) error {
+	arena := w.spaceArena(env, t, ins.Space)
+	switch ins.Op {
+	case OpLd:
+		raw, err := loadRaw(arena, addr, ins.MType)
+		if err != nil {
+			return err
+		}
+		switch ins.MType {
+		case U8:
+			t.I[ins.Dst] = int64(raw & 0xff)
+		case I32:
+			t.I[ins.Dst] = int64(int32(uint32(raw)))
+		default:
+			t.I[ins.Dst] = int64(raw)
+		}
+	case OpLdF:
+		raw, err := loadRaw(arena, addr, ins.MType)
+		if err != nil {
+			return err
+		}
+		if ins.MType == F32 {
+			t.F[ins.Dst] = float64(math.Float32frombits(uint32(raw)))
+		} else {
+			t.F[ins.Dst] = math.Float64frombits(raw)
+		}
+	case OpSt:
+		v := t.I[ins.Src2]
+		return storeRaw(arena, addr, ins.MType, uint64(v))
+	case OpStF:
+		v := t.F[ins.Src2]
+		if ins.MType == F32 {
+			return storeRaw(arena, addr, ins.MType, uint64(math.Float32bits(float32(v))))
+		}
+		return storeRaw(arena, addr, ins.MType, math.Float64bits(v))
+	case OpAtom:
+		raw, err := loadRaw(arena, addr, I32)
+		if err != nil {
+			return err
+		}
+		old := int64(int32(uint32(raw)))
+		if err := storeRaw(arena, addr, I32, uint64(old+t.I[ins.Src2])); err != nil {
+			return err
+		}
+		t.I[ins.Dst] = old
+	}
+	return nil
+}
+
+func (w *Warp) execALU(env *Env, t *Thread, ins *Instr) {
+	isrc2 := func() int64 {
+		if ins.UseImm {
+			return ins.Imm
+		}
+		return t.I[ins.Src2]
+	}
+	fsrc2 := func() float64 {
+		if ins.UseImm {
+			return ins.FImm
+		}
+		return t.F[ins.Src2]
+	}
+	switch ins.Op {
+	case OpNop:
+	case OpIAdd:
+		t.I[ins.Dst] = t.I[ins.Src1] + isrc2()
+	case OpISub:
+		t.I[ins.Dst] = t.I[ins.Src1] - isrc2()
+	case OpIMul:
+		t.I[ins.Dst] = t.I[ins.Src1] * isrc2()
+	case OpIDiv:
+		if d := isrc2(); d != 0 {
+			t.I[ins.Dst] = t.I[ins.Src1] / d
+		} else {
+			t.I[ins.Dst] = 0
+		}
+	case OpIRem:
+		if d := isrc2(); d != 0 {
+			t.I[ins.Dst] = t.I[ins.Src1] % d
+		} else {
+			t.I[ins.Dst] = 0
+		}
+	case OpIMin:
+		t.I[ins.Dst] = min(t.I[ins.Src1], isrc2())
+	case OpIMax:
+		t.I[ins.Dst] = max(t.I[ins.Src1], isrc2())
+	case OpIAnd:
+		t.I[ins.Dst] = t.I[ins.Src1] & isrc2()
+	case OpIOr:
+		t.I[ins.Dst] = t.I[ins.Src1] | isrc2()
+	case OpIXor:
+		t.I[ins.Dst] = t.I[ins.Src1] ^ isrc2()
+	case OpShl:
+		t.I[ins.Dst] = t.I[ins.Src1] << uint(isrc2())
+	case OpShr:
+		t.I[ins.Dst] = t.I[ins.Src1] >> uint(isrc2())
+	case OpINeg:
+		t.I[ins.Dst] = -t.I[ins.Src1]
+	case OpIAbs:
+		if v := t.I[ins.Src1]; v < 0 {
+			t.I[ins.Dst] = -v
+		} else {
+			t.I[ins.Dst] = v
+		}
+	case OpMov:
+		t.I[ins.Dst] = t.I[ins.Src1]
+	case OpMovI:
+		t.I[ins.Dst] = ins.Imm
+	case OpFAdd:
+		t.F[ins.Dst] = t.F[ins.Src1] + fsrc2()
+	case OpFSub:
+		t.F[ins.Dst] = t.F[ins.Src1] - fsrc2()
+	case OpFMul:
+		t.F[ins.Dst] = t.F[ins.Src1] * fsrc2()
+	case OpFDiv:
+		t.F[ins.Dst] = t.F[ins.Src1] / fsrc2()
+	case OpFMin:
+		t.F[ins.Dst] = math.Min(t.F[ins.Src1], fsrc2())
+	case OpFMax:
+		t.F[ins.Dst] = math.Max(t.F[ins.Src1], fsrc2())
+	case OpFNeg:
+		t.F[ins.Dst] = -t.F[ins.Src1]
+	case OpFAbs:
+		t.F[ins.Dst] = math.Abs(t.F[ins.Src1])
+	case OpFMA:
+		t.F[ins.Dst] = t.F[ins.Src1]*t.F[ins.Src2] + t.F[ins.Src3]
+	case OpFMov:
+		t.F[ins.Dst] = t.F[ins.Src1]
+	case OpFMovI:
+		t.F[ins.Dst] = ins.FImm
+	case OpFSqrt:
+		t.F[ins.Dst] = math.Sqrt(t.F[ins.Src1])
+	case OpFExp:
+		t.F[ins.Dst] = math.Exp(t.F[ins.Src1])
+	case OpFLog:
+		t.F[ins.Dst] = math.Log(t.F[ins.Src1])
+	case OpFSin:
+		t.F[ins.Dst] = math.Sin(t.F[ins.Src1])
+	case OpFCos:
+		t.F[ins.Dst] = math.Cos(t.F[ins.Src1])
+	case OpFPow:
+		t.F[ins.Dst] = math.Pow(t.F[ins.Src1], fsrc2())
+	case OpI2F:
+		t.F[ins.Dst] = float64(t.I[ins.Src1])
+	case OpF2I:
+		t.I[ins.Dst] = int64(t.F[ins.Src1])
+	case OpSetpI:
+		t.P[ins.Dst] = cmpI(ins.Cmp, t.I[ins.Src1], isrc2())
+	case OpSetpF:
+		t.P[ins.Dst] = cmpF(ins.Cmp, t.F[ins.Src1], fsrc2())
+	case OpPAnd:
+		t.P[ins.Dst] = t.P[ins.Src1] && t.P[ins.Src2]
+	case OpPOr:
+		t.P[ins.Dst] = t.P[ins.Src1] || t.P[ins.Src2]
+	case OpPNot:
+		t.P[ins.Dst] = !t.P[ins.Src1]
+	case OpSelI:
+		if t.P[ins.Src3] {
+			t.I[ins.Dst] = t.I[ins.Src1]
+		} else {
+			t.I[ins.Dst] = isrc2()
+		}
+	case OpSelF:
+		if t.P[ins.Src3] {
+			t.F[ins.Dst] = t.F[ins.Src1]
+		} else {
+			t.F[ins.Dst] = fsrc2()
+		}
+	case OpRdSp:
+		switch ins.Sp {
+		case SpecTid:
+			t.I[ins.Dst] = int64(t.Tid)
+		case SpecCta:
+			t.I[ins.Dst] = int64(t.Cta)
+		case SpecNTid:
+			t.I[ins.Dst] = int64(env.BlockDim)
+		case SpecNCta:
+			t.I[ins.Dst] = int64(env.GridDim)
+		}
+	}
+}
+
+func cmpI(c CmpOp, a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpF(c CmpOp, a, b float64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}

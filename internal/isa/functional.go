@@ -1,0 +1,122 @@
+package isa
+
+import "fmt"
+
+// CTA is one cooperative thread array (thread block) instantiated for
+// execution: its warps plus its private shared-memory environment.
+type CTA struct {
+	Index int
+	Warps []*Warp
+	Env   *Env
+}
+
+// MakeCTA instantiates block ctaID of the launch: allocates thread state,
+// groups threads into warps, and creates the CTA's shared-memory arena.
+func MakeCTA(k *Kernel, ctaID int, launch Launch, mem *Memory) *CTA {
+	env := &Env{
+		Mem:      mem,
+		Shared:   make([]byte, k.SharedBytes),
+		BlockDim: launch.Block,
+		GridDim:  launch.Grid,
+	}
+	nWarps := (launch.Block + WarpSize - 1) / WarpSize
+	cta := &CTA{Index: ctaID, Env: env, Warps: make([]*Warp, 0, nWarps)}
+	for w := 0; w < nWarps; w++ {
+		lo := w * WarpSize
+		hi := min(lo+WarpSize, launch.Block)
+		threads := make([]*Thread, hi-lo)
+		for i := range threads {
+			t := &Thread{
+				I:   make([]int64, k.NumI),
+				F:   make([]float64, k.NumF),
+				P:   make([]bool, k.NumP),
+				Tid: lo + i,
+				Cta: ctaID,
+			}
+			if k.LocalBytes > 0 {
+				t.Local = make([]byte, k.LocalBytes)
+			}
+			threads[i] = t
+		}
+		cta.Warps = append(cta.Warps, NewWarp(k, w, threads))
+	}
+	return cta
+}
+
+// Done reports whether every warp of the CTA has finished.
+func (c *CTA) Done() bool {
+	for _, w := range c.Warps {
+		if !w.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// maxFunctionalSteps bounds per-warp execution between synchronization
+// points so kernel bugs (runaway loops) fail fast instead of hanging tests.
+const maxFunctionalSteps = 1 << 30
+
+// Functional executes kernels for correctness only, with no timing model.
+// Warps within a CTA run to the next barrier in turn, which is a valid
+// schedule for kernels whose inter-warp communication goes through
+// barriers (all Rodinia kernels here).
+type Functional struct {
+	// Steps counts warp instructions executed across launches.
+	Steps uint64
+}
+
+var _ Executor = (*Functional)(nil)
+
+// Launch runs the kernel to completion on every CTA of the launch.
+func (f *Functional) Launch(k *Kernel, launch Launch, mem *Memory) error {
+	if err := launch.Validate(); err != nil {
+		return err
+	}
+	for ctaID := 0; ctaID < launch.Grid; ctaID++ {
+		cta := MakeCTA(k, ctaID, launch, mem)
+		if err := f.runCTA(k, cta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Functional) runCTA(k *Kernel, cta *CTA) error {
+	var steps uint64
+	for {
+		progressed := false
+		anyBarrier := false
+		for _, w := range cta.Warps {
+			for !w.Done() && !w.AtBarrier() {
+				if _, err := w.Exec(cta.Env); err != nil {
+					return err
+				}
+				progressed = true
+				steps++
+				if steps > maxFunctionalSteps {
+					return fmt.Errorf("isa: kernel %s cta %d exceeded %d steps; runaway loop?", k.Name, cta.Index, maxFunctionalSteps)
+				}
+			}
+			if w.AtBarrier() {
+				anyBarrier = true
+			}
+		}
+		f.Steps += steps
+		steps = 0
+		if cta.Done() {
+			return nil
+		}
+		if anyBarrier {
+			for _, w := range cta.Warps {
+				if w.AtBarrier() {
+					w.ReleaseBarrier()
+				}
+			}
+			continue
+		}
+		if !progressed {
+			return fmt.Errorf("isa: kernel %s cta %d deadlocked", k.Name, cta.Index)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ParamSlots is the number of 8-byte kernel-parameter slots. Parameter
+// reads are modeled as always-hit accesses, following GPGPU-Sim.
+const ParamSlots = 64
+
+// Memory holds the device memory spaces shared across a kernel launch.
+// Shared memory is per-CTA and local memory per-thread; both are owned by
+// the executor, not by Memory.
+type Memory struct {
+	Global []byte
+	Const  []byte
+	Tex    []byte
+	Param  []byte
+
+	globalTop uint64
+	constTop  uint64
+	texTop    uint64
+}
+
+// NewMemory returns a Memory with empty arenas; Alloc* calls grow them.
+func NewMemory() *Memory {
+	return &Memory{Param: make([]byte, ParamSlots*8)}
+}
+
+const allocAlign = 256
+
+func alignUp(n uint64) uint64 { return (n + allocAlign - 1) &^ (allocAlign - 1) }
+
+func grow(arena []byte, top uint64, n int) ([]byte, uint64, uint64) {
+	base := alignUp(top)
+	end := base + uint64(n)
+	if end > uint64(len(arena)) {
+		na := make([]byte, alignUp(end)+allocAlign)
+		copy(na, arena)
+		arena = na
+	}
+	return arena, base, end
+}
+
+// AllocGlobal reserves n bytes of global memory and returns its address.
+func (m *Memory) AllocGlobal(n int) uint64 {
+	var base uint64
+	m.Global, base, m.globalTop = grow(m.Global, m.globalTop, n)
+	return base
+}
+
+// AllocConst reserves n bytes of constant memory.
+func (m *Memory) AllocConst(n int) uint64 {
+	var base uint64
+	m.Const, base, m.constTop = grow(m.Const, m.constTop, n)
+	return base
+}
+
+// AllocTex reserves n bytes of texture memory.
+func (m *Memory) AllocTex(n int) uint64 {
+	var base uint64
+	m.Tex, base, m.texTop = grow(m.Tex, m.texTop, n)
+	return base
+}
+
+// GlobalSize returns the amount of global memory allocated so far.
+func (m *Memory) GlobalSize() uint64 { return m.globalTop }
+
+func (m *Memory) arena(s Space) []byte {
+	switch s {
+	case SpaceGlobal:
+		return m.Global
+	case SpaceConst:
+		return m.Const
+	case SpaceTex:
+		return m.Tex
+	case SpaceParam:
+		return m.Param
+	}
+	return nil
+}
+
+// SetParamI stores an integer (or pointer) kernel parameter in slot idx.
+func (m *Memory) SetParamI(idx int, v int64) {
+	binary.LittleEndian.PutUint64(m.Param[idx*8:], uint64(v))
+}
+
+// SetParamF stores a float kernel parameter in slot idx.
+func (m *Memory) SetParamF(idx int, v float64) {
+	binary.LittleEndian.PutUint64(m.Param[idx*8:], math.Float64bits(v))
+}
+
+// The typed accessors below are host-side helpers used by benchmark setup
+// and verification code.
+
+// WriteF32 stores a float32 at addr in space s.
+func (m *Memory) WriteF32(s Space, addr uint64, v float32) {
+	binary.LittleEndian.PutUint32(m.arena(s)[addr:], math.Float32bits(v))
+}
+
+// ReadF32 loads a float32 from addr in space s.
+func (m *Memory) ReadF32(s Space, addr uint64) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(m.arena(s)[addr:]))
+}
+
+// WriteF64 stores a float64 at addr in space s.
+func (m *Memory) WriteF64(s Space, addr uint64, v float64) {
+	binary.LittleEndian.PutUint64(m.arena(s)[addr:], math.Float64bits(v))
+}
+
+// ReadF64 loads a float64 from addr in space s.
+func (m *Memory) ReadF64(s Space, addr uint64) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.arena(s)[addr:]))
+}
+
+// WriteI32 stores an int32 at addr in space s.
+func (m *Memory) WriteI32(s Space, addr uint64, v int32) {
+	binary.LittleEndian.PutUint32(m.arena(s)[addr:], uint32(v))
+}
+
+// ReadI32 loads an int32 from addr in space s.
+func (m *Memory) ReadI32(s Space, addr uint64) int32 {
+	return int32(binary.LittleEndian.Uint32(m.arena(s)[addr:]))
+}
+
+// WriteI64 stores an int64 at addr in space s.
+func (m *Memory) WriteI64(s Space, addr uint64, v int64) {
+	binary.LittleEndian.PutUint64(m.arena(s)[addr:], uint64(v))
+}
+
+// ReadI64 loads an int64 from addr in space s.
+func (m *Memory) ReadI64(s Space, addr uint64) int64 {
+	return int64(binary.LittleEndian.Uint64(m.arena(s)[addr:]))
+}
+
+// WriteU8 stores a byte at addr in space s.
+func (m *Memory) WriteU8(s Space, addr uint64, v byte) { m.arena(s)[addr] = v }
+
+// ReadU8 loads a byte from addr in space s.
+func (m *Memory) ReadU8(s Space, addr uint64) byte { return m.arena(s)[addr] }
+
+// loadRaw reads a value of type t from the byte arena for a device access.
+func loadRaw(arena []byte, addr uint64, t MemType) (uint64, error) {
+	if int(addr)+t.Size() > len(arena) {
+		return 0, fmt.Errorf("isa: load of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+	}
+	switch t {
+	case U8:
+		return uint64(arena[addr]), nil
+	case I32, F32:
+		return uint64(binary.LittleEndian.Uint32(arena[addr:])), nil
+	default:
+		return binary.LittleEndian.Uint64(arena[addr:]), nil
+	}
+}
+
+// storeRaw writes a value of type t into the byte arena for a device access.
+func storeRaw(arena []byte, addr uint64, t MemType, v uint64) error {
+	if int(addr)+t.Size() > len(arena) {
+		return fmt.Errorf("isa: store of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+	}
+	switch t {
+	case U8:
+		arena[addr] = byte(v)
+	case I32, F32:
+		binary.LittleEndian.PutUint32(arena[addr:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(arena[addr:], v)
+	}
+	return nil
+}

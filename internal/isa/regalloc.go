@@ -1,0 +1,178 @@
+package isa
+
+// Physical register accounting. The builder hands out a fresh virtual
+// register for every temporary, which is convenient for kernel authors but
+// would wildly overstate the register pressure an optimizing compiler
+// produces. Build therefore runs a conservative live-range analysis and
+// reports the maximum number of simultaneously live values per file — the
+// number the occupancy calculation (registers per SM) should see, just as
+// ptxas reports allocated registers rather than SSA values.
+
+// regRefs lists the virtual registers an instruction defines and uses for
+// one register file.
+func regRefs(ins *Instr, file regFile) (def int, uses [3]int, nuses int) {
+	def = -1
+	add := func(r int) {
+		uses[nuses] = r
+		nuses++
+	}
+	switch file {
+	case fileI:
+		switch ins.Op {
+		case OpIAdd, OpISub, OpIMul, OpIDiv, OpIRem, OpIMin, OpIMax,
+			OpIAnd, OpIOr, OpIXor, OpShl, OpShr:
+			def = ins.Dst
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpINeg, OpIAbs, OpMov:
+			def = ins.Dst
+			add(ins.Src1)
+		case OpMovI, OpRdSp:
+			def = ins.Dst
+		case OpF2I:
+			def = ins.Dst
+		case OpSetpI:
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpSelI:
+			def = ins.Dst
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpI2F:
+			add(ins.Src1)
+		case OpLd:
+			def = ins.Dst
+			add(ins.Src1)
+		case OpLdF, OpStF:
+			add(ins.Src1)
+		case OpSt:
+			add(ins.Src1)
+			add(ins.Src2)
+		case OpAtom:
+			def = ins.Dst
+			add(ins.Src1)
+			add(ins.Src2)
+		}
+	case fileF:
+		switch ins.Op {
+		case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMin, OpFMax, OpFPow:
+			def = ins.Dst
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpFNeg, OpFAbs, OpFMov, OpFSqrt, OpFExp, OpFLog, OpFSin, OpFCos:
+			def = ins.Dst
+			add(ins.Src1)
+		case OpFMovI, OpI2F:
+			def = ins.Dst
+		case OpFMA:
+			def = ins.Dst
+			add(ins.Src1)
+			add(ins.Src2)
+			add(ins.Src3)
+		case OpSetpF:
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpSelF:
+			def = ins.Dst
+			add(ins.Src1)
+			if !ins.UseImm {
+				add(ins.Src2)
+			}
+		case OpF2I:
+			add(ins.Src1)
+		case OpLdF:
+			def = ins.Dst
+		case OpStF:
+			add(ins.Src2)
+		}
+	}
+	return
+}
+
+type regFile uint8
+
+const (
+	fileI regFile = iota
+	fileF
+)
+
+// maxLiveRegs computes the maximum number of simultaneously live virtual
+// registers of one file over the instruction stream. Ranges are the span
+// [first appearance, last appearance], widened across backward branches so
+// values live around a loop stay allocated for the whole loop body. This
+// is conservative (it never understates pressure for structured code).
+func maxLiveRegs(instrs []Instr, n int, file regFile) int {
+	if n == 0 {
+		return 0
+	}
+	first := make([]int, n)
+	last := make([]int, n)
+	for r := 0; r < n; r++ {
+		first[r] = -1
+	}
+	touch := func(r, pc int) {
+		if r < 0 || r >= n {
+			return
+		}
+		if first[r] == -1 {
+			first[r] = pc
+		}
+		last[r] = pc
+	}
+	for pc := range instrs {
+		ins := &instrs[pc]
+		def, uses, nu := regRefs(ins, file)
+		touch(def, pc)
+		for i := 0; i < nu; i++ {
+			touch(uses[i], pc)
+		}
+	}
+	// Widen across loops until fixpoint: a register whose range intersects
+	// a backward branch's body [target, pc] is live through the branch.
+	for changed := true; changed; {
+		changed = false
+		for pc := range instrs {
+			ins := &instrs[pc]
+			if (ins.Op != OpBra && ins.Op != OpJmp) || ins.Target > pc {
+				continue
+			}
+			t := ins.Target
+			for r := 0; r < n; r++ {
+				if first[r] == -1 {
+					continue
+				}
+				if first[r] <= pc && last[r] >= t && last[r] < pc {
+					last[r] = pc
+					changed = true
+				}
+			}
+		}
+	}
+	// Max overlap via sweep.
+	events := make([]int, len(instrs)+2)
+	for r := 0; r < n; r++ {
+		if first[r] == -1 {
+			continue
+		}
+		events[first[r]]++
+		events[last[r]+1]--
+	}
+	live, peak := 0, 0
+	for _, e := range events {
+		live += e
+		if live > peak {
+			peak = live
+		}
+	}
+	return peak
+}

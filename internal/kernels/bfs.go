@@ -1,0 +1,264 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Breadth-First Search follows Rodinia's two-kernel frontier expansion:
+// Kernel 1 expands the current frontier (heavy, uncoalesced global traffic
+// and branch divergence — the overhead of global memory accesses dominates,
+// per the paper), Kernel 2 commits the next frontier and raises a stop
+// flag. The host iterates until the flag stays down.
+
+const (
+	bfsNodes  = 65536 // paper: 1,000,000 nodes; scaled for simulation
+	bfsDegree = 6
+)
+
+// BFS is the Breadth-First Search benchmark (Graph Traversal dwarf).
+var BFS = &Benchmark{
+	Name:      "Breadth-First Search",
+	Abbrev:    "BFS",
+	Dwarf:     "Graph Traversal",
+	Domain:    "Graph Algorithms",
+	PaperSize: "1000000 nodes",
+	SimSize:   fmt.Sprintf("%d nodes, avg degree %d", bfsNodes, bfsDegree),
+	New:       func() *Instance { return newBFS(bfsNodes, bfsDegree) },
+}
+
+type bfsGraph struct {
+	n         int
+	starts    []int32 // CSR row starts, len n+1
+	edges     []int32
+	nodesAddr uint64 // i32[n+1] row starts
+	edgesAddr uint64 // i32[m]
+	maskAddr  uint64 // u8-per-i32 frontier mask
+	upAddr    uint64 // updating mask
+	visAddr   uint64 // visited
+	costAddr  uint64 // i32[n]
+	stopAddr  uint64 // i32
+}
+
+// genGraph builds a random connected-ish graph in CSR form: each node gets
+// edges to random targets plus a chain edge so distances are interesting.
+func genGraph(n, degree int) ([]int32, []int32) {
+	r := newRNG(42)
+	starts := make([]int32, n+1)
+	var edges []int32
+	for i := 0; i < n; i++ {
+		starts[i] = int32(len(edges))
+		// Chain edge keeps the graph connected with a deep BFS tree.
+		edges = append(edges, int32((i+1)%n))
+		d := 1 + r.intn(degree)
+		for j := 0; j < d; j++ {
+			edges = append(edges, int32(r.intn(n)))
+		}
+	}
+	starts[n] = int32(len(edges))
+	return starts, edges
+}
+
+func newBFS(n, degree int) *Instance {
+	starts, edges := genGraph(n, degree)
+	mem := isa.NewMemory()
+	g := &bfsGraph{
+		n:         n,
+		starts:    starts,
+		edges:     edges,
+		nodesAddr: mem.AllocGlobal((n + 1) * 4),
+		edgesAddr: mem.AllocGlobal(len(edges) * 4),
+		maskAddr:  mem.AllocGlobal(n * 4),
+		upAddr:    mem.AllocGlobal(n * 4),
+		visAddr:   mem.AllocGlobal(n * 4),
+		costAddr:  mem.AllocGlobal(n * 4),
+		stopAddr:  mem.AllocGlobal(4),
+	}
+	for i, v := range starts {
+		mem.WriteI32(isa.SpaceGlobal, g.nodesAddr+uint64(i*4), v)
+	}
+	for i, v := range edges {
+		mem.WriteI32(isa.SpaceGlobal, g.edgesAddr+uint64(i*4), v)
+	}
+	for i := 0; i < n; i++ {
+		mem.WriteI32(isa.SpaceGlobal, g.costAddr+uint64(i*4), -1)
+	}
+	// Source node 0.
+	mem.WriteI32(isa.SpaceGlobal, g.maskAddr, 1)
+	mem.WriteI32(isa.SpaceGlobal, g.visAddr, 1)
+	mem.WriteI32(isa.SpaceGlobal, g.costAddr, 0)
+
+	mem.SetParamI(0, int64(g.nodesAddr))
+	mem.SetParamI(1, int64(g.edgesAddr))
+	mem.SetParamI(2, int64(g.maskAddr))
+	mem.SetParamI(3, int64(g.upAddr))
+	mem.SetParamI(4, int64(g.visAddr))
+	mem.SetParamI(5, int64(g.costAddr))
+	mem.SetParamI(6, int64(g.stopAddr))
+	mem.SetParamI(7, int64(n))
+
+	k1 := bfsKernel1()
+	k2 := bfsKernel2()
+	launch := isa.Launch{Grid: ceilDiv(n, 256), Block: 256}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		for iter := 0; ; iter++ {
+			if iter > n {
+				return fmt.Errorf("bfs did not converge after %d iterations", iter)
+			}
+			mem.WriteI32(isa.SpaceGlobal, g.stopAddr, 0)
+			if err := ex.Launch(k1, launch, mem); err != nil {
+				return err
+			}
+			if err := ex.Launch(k2, launch, mem); err != nil {
+				return err
+			}
+			if mem.ReadI32(isa.SpaceGlobal, g.stopAddr) == 0 {
+				return nil
+			}
+		}
+	}
+
+	check := func(mem *isa.Memory) error {
+		// CPU reference BFS.
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = -1
+		}
+		want[0] = 0
+		queue := []int32{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := starts[u]; e < starts[u+1]; e++ {
+				v := edges[e]
+				if want[v] == -1 {
+					want[v] = want[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			got := mem.ReadI32(isa.SpaceGlobal, g.costAddr+uint64(i*4))
+			if got != want[i] {
+				return fmt.Errorf("cost[%d] = %d, want %d", i, got, want[i])
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// bfsKernel1 expands the frontier: for every masked node, visit its edges
+// and tentatively label unvisited neighbors (a benign race, as in Rodinia).
+func bfsKernel1() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pnodes, pedges, pmask, pup, pvis, pcost, pn := b.I(), b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pnodes, 0)
+	b.LdParamI(pedges, 1)
+	b.LdParamI(pmask, 2)
+	b.LdParamI(pup, 3)
+	b.LdParamI(pvis, 4)
+	b.LdParamI(pcost, 5)
+	b.LdParamI(pn, 7)
+
+	inRange := b.P()
+	b.SetpI(inRange, isa.CmpLT, gid, pn)
+	b.If(inRange, func() {
+		maddr, m := b.I(), b.I()
+		b.ShlI(maddr, gid, 2)
+		b.IAdd(maddr, maddr, pmask)
+		b.Ld(m, isa.I32, isa.SpaceGlobal, maddr, 0)
+		pm := b.P()
+		b.SetpII(pm, isa.CmpNE, m, 0)
+		b.If(pm, func() {
+			zero := b.I()
+			b.MovI(zero, 0)
+			b.St(isa.I32, isa.SpaceGlobal, maddr, 0, zero)
+			// Edge range from CSR starts.
+			saddr, estart, eend := b.I(), b.I(), b.I()
+			b.ShlI(saddr, gid, 2)
+			b.IAdd(saddr, saddr, pnodes)
+			b.Ld(estart, isa.I32, isa.SpaceGlobal, saddr, 0)
+			b.Ld(eend, isa.I32, isa.SpaceGlobal, saddr, 4)
+			myCost, caddr := b.I(), b.I()
+			b.ShlI(caddr, gid, 2)
+			b.IAdd(caddr, caddr, pcost)
+			b.Ld(myCost, isa.I32, isa.SpaceGlobal, caddr, 0)
+
+			e := b.I()
+			b.Mov(e, estart)
+			pLoop := b.P()
+			b.While(func() isa.PReg {
+				b.SetpI(pLoop, isa.CmpLT, e, eend)
+				return pLoop
+			}, func() {
+				eaddr, nb := b.I(), b.I()
+				b.ShlI(eaddr, e, 2)
+				b.IAdd(eaddr, eaddr, pedges)
+				b.Ld(nb, isa.I32, isa.SpaceGlobal, eaddr, 0)
+				vaddr, vis := b.I(), b.I()
+				b.ShlI(vaddr, nb, 2)
+				b.IAdd(vaddr, vaddr, pvis)
+				b.Ld(vis, isa.I32, isa.SpaceGlobal, vaddr, 0)
+				pv := b.P()
+				b.SetpII(pv, isa.CmpEQ, vis, 0)
+				b.If(pv, func() {
+					nc, ncaddr := b.I(), b.I()
+					b.IAddI(nc, myCost, 1)
+					b.ShlI(ncaddr, nb, 2)
+					b.IAdd(ncaddr, ncaddr, pcost)
+					b.St(isa.I32, isa.SpaceGlobal, ncaddr, 0, nc)
+					one, uaddr := b.I(), b.I()
+					b.MovI(one, 1)
+					b.ShlI(uaddr, nb, 2)
+					b.IAdd(uaddr, uaddr, pup)
+					b.St(isa.I32, isa.SpaceGlobal, uaddr, 0, one)
+				}, nil)
+				b.IAddI(e, e, 1)
+			})
+		}, nil)
+	}, nil)
+	return b.Build("bfs_kernel1")
+}
+
+// bfsKernel2 commits the tentative frontier: updating -> mask+visited, and
+// raises the host's stop flag if anything changed.
+func bfsKernel2() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pmask, pup, pvis, pstop, pn := b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pmask, 2)
+	b.LdParamI(pup, 3)
+	b.LdParamI(pvis, 4)
+	b.LdParamI(pstop, 6)
+	b.LdParamI(pn, 7)
+
+	inRange := b.P()
+	b.SetpI(inRange, isa.CmpLT, gid, pn)
+	b.If(inRange, func() {
+		uaddr, u := b.I(), b.I()
+		b.ShlI(uaddr, gid, 2)
+		b.IAdd(uaddr, uaddr, pup)
+		b.Ld(u, isa.I32, isa.SpaceGlobal, uaddr, 0)
+		pu := b.P()
+		b.SetpII(pu, isa.CmpNE, u, 0)
+		b.If(pu, func() {
+			one, zero, a := b.I(), b.I(), b.I()
+			b.MovI(one, 1)
+			b.MovI(zero, 0)
+			b.ShlI(a, gid, 2)
+			b.IAdd(a, a, pmask)
+			b.St(isa.I32, isa.SpaceGlobal, a, 0, one)
+			b.ShlI(a, gid, 2)
+			b.IAdd(a, a, pvis)
+			b.St(isa.I32, isa.SpaceGlobal, a, 0, one)
+			b.St(isa.I32, isa.SpaceGlobal, pstop, 0, one)
+			b.St(isa.I32, isa.SpaceGlobal, uaddr, 0, zero)
+		}, nil)
+	}, nil)
+	return b.Build("bfs_kernel2")
+}

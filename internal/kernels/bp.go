@@ -1,0 +1,285 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Back Propagation trains one step of a two-layer perceptron. The GPU side
+// mirrors Rodinia's bpnn_layerforward_CUDA (per-block shared-memory tree
+// reduction of x[i]*w[i][j] partial products) and bpnn_adjust_weights_cuda;
+// the tiny output layer is handled on the host, as in Rodinia.
+//
+// Only a fraction of threads are active during the reduction tree, which is
+// why BP shows reduced warp occupancy without branch divergence (Figure 3).
+
+const (
+	bpHidden   = 16   // hidden units (Rodinia default)
+	bpInputs   = 8192 // input units (paper: 65536; scaled for simulation)
+	bpEta      = 0.3
+	bpMomentum = 0.3
+)
+
+// BackProp is the Back Propagation benchmark (Unstructured Grid dwarf).
+var BackProp = &Benchmark{
+	Name:      "Back Propagation",
+	Abbrev:    "BP",
+	Dwarf:     "Unstructured Grid",
+	Domain:    "Pattern Recognition",
+	PaperSize: "65536 input nodes",
+	SimSize:   fmt.Sprintf("%d input nodes", bpInputs),
+	New:       func() *Instance { return newBackProp(bpInputs) },
+}
+
+type bpLayout struct {
+	n       int
+	input   uint64 // f32[n]
+	weights uint64 // f32[n][bpHidden]
+	oldw    uint64 // f32[n][bpHidden]
+	partial uint64 // f32[n/16][bpHidden]
+	delta   uint64 // f32[bpHidden]
+}
+
+func newBackProp(n int) *Instance {
+	mem := isa.NewMemory()
+	lay := &bpLayout{
+		n:       n,
+		input:   mem.AllocGlobal(n * 4),
+		weights: mem.AllocGlobal(n * bpHidden * 4),
+		oldw:    mem.AllocGlobal(n * bpHidden * 4),
+		partial: mem.AllocGlobal(n / 16 * bpHidden * 4),
+		delta:   mem.AllocGlobal(bpHidden * 4),
+	}
+	r := newRNG(7)
+	for i := 0; i < n; i++ {
+		mem.WriteF32(isa.SpaceGlobal, lay.input+uint64(i*4), float32(r.float()))
+		for j := 0; j < bpHidden; j++ {
+			mem.WriteF32(isa.SpaceGlobal, lay.weights+uint64((i*bpHidden+j)*4), float32(r.float()-0.5))
+		}
+	}
+	mem.SetParamI(0, int64(lay.input))
+	mem.SetParamI(1, int64(lay.weights))
+	mem.SetParamI(2, int64(lay.partial))
+	mem.SetParamI(3, int64(lay.delta))
+	mem.SetParamI(4, int64(lay.oldw))
+
+	fwd := bpLayerForwardKernel()
+	adj := bpAdjustWeightsKernel()
+
+	// inputsBefore snapshots inputs and weights for the reference check.
+	inBefore := make([]float32, n)
+	wBefore := make([]float32, n*bpHidden)
+	for i := 0; i < n; i++ {
+		inBefore[i] = mem.ReadF32(isa.SpaceGlobal, lay.input+uint64(i*4))
+		for j := 0; j < bpHidden; j++ {
+			wBefore[i*bpHidden+j] = mem.ReadF32(isa.SpaceGlobal, lay.weights+uint64((i*bpHidden+j)*4))
+		}
+	}
+	var hostDelta [bpHidden]float64
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		launch := isa.Launch{Grid: n / 16, Block: 256}
+		if err := ex.Launch(fwd, launch, mem); err != nil {
+			return err
+		}
+		// Host: accumulate block partial sums, apply sigmoid, compute the
+		// hidden-layer deltas against a fixed target (as bpnn_train does).
+		for j := 0; j < bpHidden; j++ {
+			sum := 0.0
+			for blk := 0; blk < n/16; blk++ {
+				sum += float64(mem.ReadF32(isa.SpaceGlobal, lay.partial+uint64((blk*bpHidden+j)*4)))
+			}
+			h := 1 / (1 + math.Exp(-sum))
+			hostDelta[j] = h * (1 - h) * (0.5 - h)
+			mem.WriteF32(isa.SpaceGlobal, lay.delta+uint64(j*4), float32(hostDelta[j]))
+		}
+		return ex.Launch(adj, launch, mem)
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Reference forward pass.
+		for j := 0; j < bpHidden; j++ {
+			sum := 0.0
+			for blk := 0; blk < n/16; blk++ {
+				sum += float64(mem.ReadF32(isa.SpaceGlobal, lay.partial+uint64((blk*bpHidden+j)*4)))
+			}
+			want := 0.0
+			for i := 0; i < n; i++ {
+				want += float64(inBefore[i]) * float64(wBefore[i*bpHidden+j])
+			}
+			if math.Abs(sum-want) > 1e-2*(1+math.Abs(want)) {
+				return fmt.Errorf("hidden sum %d = %g, want %g", j, sum, want)
+			}
+		}
+		// Reference weight update on a sample of rows.
+		for _, i := range []int{0, 1, n / 2, n - 1} {
+			for j := 0; j < bpHidden; j++ {
+				dw := bpEta*hostDelta[j]*float64(inBefore[i]) + bpMomentum*0
+				want := float64(wBefore[i*bpHidden+j]) + dw
+				got := float64(mem.ReadF32(isa.SpaceGlobal, lay.weights+uint64((i*bpHidden+j)*4)))
+				if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+					return fmt.Errorf("weight[%d][%d] = %g, want %g", i, j, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// bpLayerForwardKernel: block = 256 threads (tx = hidden unit, ty = input
+// row within the block's 16-row slice). Shared memory holds the 16 input
+// activations and the 16x16 product matrix, reduced over ty in a tree.
+func bpLayerForwardKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	const (
+		shInput  = 0  // f32[16]
+		shMatrix = 64 // f32[16][16]
+	)
+	b.SetShared(64 + 16*16*4)
+
+	tid, by := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(by, isa.SpecCta)
+	tx, ty := b.I(), b.I()
+	b.IAndI(tx, tid, 15)
+	b.ShrI(ty, tid, 4)
+
+	pin, pw, ppart := b.I(), b.I(), b.I()
+	b.LdParamI(pin, 0)
+	b.LdParamI(pw, 1)
+	b.LdParamI(ppart, 2)
+
+	indexIn := b.I()
+	b.ShlI(indexIn, by, 4)
+	b.IAdd(indexIn, indexIn, ty)
+
+	// input_node[ty] = input[index_in] (one lane per row)
+	p0 := b.P()
+	b.SetpII(p0, isa.CmpEQ, tx, 0)
+	addr, saddr := b.I(), b.I()
+	x := b.F()
+	b.If(p0, func() {
+		b.ShlI(addr, indexIn, 2)
+		b.IAdd(addr, addr, pin)
+		b.LdF(x, isa.F32, isa.SpaceGlobal, addr, 0)
+		b.ShlI(saddr, ty, 2)
+		b.StF(isa.F32, isa.SpaceShared, saddr, 0, x)
+	}, nil)
+	b.Bar()
+
+	// weight_matrix[ty][tx] = w[index_in*16+tx]
+	w := b.F()
+	widx := b.I()
+	b.ShlI(widx, indexIn, 4)
+	b.IAdd(widx, widx, tx)
+	b.ShlI(addr, widx, 2)
+	b.IAdd(addr, addr, pw)
+	b.LdF(w, isa.F32, isa.SpaceGlobal, addr, 0)
+	melem := b.I()
+	b.ShlI(melem, ty, 4)
+	b.IAdd(melem, melem, tx)
+	b.ShlI(saddr, melem, 2)
+	b.StF(isa.F32, isa.SpaceShared, saddr, shMatrix, w)
+	b.Bar()
+
+	// weight_matrix[ty][tx] *= input_node[ty]
+	xin := b.F()
+	si := b.I()
+	b.ShlI(si, ty, 2)
+	b.LdF(xin, isa.F32, isa.SpaceShared, si, shInput)
+	b.LdF(w, isa.F32, isa.SpaceShared, saddr, shMatrix)
+	b.FMul(w, w, xin)
+	b.StF(isa.F32, isa.SpaceShared, saddr, shMatrix, w)
+	b.Bar()
+
+	// Tree reduction over ty (4 statically unrolled steps, barrier between
+	// each, matching the CUDA loop structure).
+	for s := 1; s < 16; s *= 2 {
+		mod := b.I()
+		pr := b.P()
+		b.IAndI(mod, ty, int64(2*s-1))
+		b.SetpII(pr, isa.CmpEQ, mod, 0)
+		b.If(pr, func() {
+			a, c := b.F(), b.F()
+			oaddr := b.I()
+			b.IAddI(oaddr, melem, int64(s*16))
+			b.ShlI(oaddr, oaddr, 2)
+			b.LdF(a, isa.F32, isa.SpaceShared, saddr, shMatrix)
+			b.LdF(c, isa.F32, isa.SpaceShared, oaddr, shMatrix)
+			b.FAdd(a, a, c)
+			b.StF(isa.F32, isa.SpaceShared, saddr, shMatrix, a)
+		}, nil)
+		b.Bar()
+	}
+
+	// partial[by*16+tx] = weight_matrix[0][tx]
+	pz := b.P()
+	b.SetpII(pz, isa.CmpEQ, ty, 0)
+	b.If(pz, func() {
+		res := b.F()
+		sa, ga := b.I(), b.I()
+		b.ShlI(sa, tx, 2)
+		b.LdF(res, isa.F32, isa.SpaceShared, sa, shMatrix)
+		b.ShlI(ga, by, 4)
+		b.IAdd(ga, ga, tx)
+		b.ShlI(ga, ga, 2)
+		b.IAdd(ga, ga, ppart)
+		b.StF(isa.F32, isa.SpaceGlobal, ga, 0, res)
+	}, nil)
+	return b.Build("bpnn_layerforward")
+}
+
+// bpAdjustWeightsKernel: w[i][j] += eta*delta[j]*x[i] (momentum term uses
+// the zero-initialized oldw array, as in the first Rodinia iteration).
+func bpAdjustWeightsKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	tid, by := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(by, isa.SpecCta)
+	tx, ty := b.I(), b.I()
+	b.IAndI(tx, tid, 15)
+	b.ShrI(ty, tid, 4)
+
+	pin, pw, pdelta, poldw := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pin, 0)
+	b.LdParamI(pw, 1)
+	b.LdParamI(pdelta, 3)
+	b.LdParamI(poldw, 4)
+
+	indexIn := b.I()
+	b.ShlI(indexIn, by, 4)
+	b.IAdd(indexIn, indexIn, ty)
+
+	addr := b.I()
+	x, d, w, dw, ow := b.F(), b.F(), b.F(), b.F(), b.F()
+	b.ShlI(addr, indexIn, 2)
+	b.IAdd(addr, addr, pin)
+	b.LdF(x, isa.F32, isa.SpaceGlobal, addr, 0)
+	b.ShlI(addr, tx, 2)
+	b.IAdd(addr, addr, pdelta)
+	b.LdF(d, isa.F32, isa.SpaceGlobal, addr, 0)
+
+	widx := b.I()
+	b.ShlI(widx, indexIn, 4)
+	b.IAdd(widx, widx, tx)
+	b.ShlI(addr, widx, 2)
+	waddr, owaddr := b.I(), b.I()
+	b.IAdd(waddr, addr, pw)
+	b.IAdd(owaddr, addr, poldw)
+
+	b.LdF(w, isa.F32, isa.SpaceGlobal, waddr, 0)
+	b.LdF(ow, isa.F32, isa.SpaceGlobal, owaddr, 0)
+	b.FMul(dw, d, x)
+	b.FMulI(dw, dw, bpEta)
+	tmp := b.F()
+	b.FMulI(tmp, ow, bpMomentum)
+	b.FAdd(dw, dw, tmp)
+	b.FAdd(w, w, dw)
+	b.StF(isa.F32, isa.SpaceGlobal, waddr, 0, w)
+	b.StF(isa.F32, isa.SpaceGlobal, owaddr, 0, dw)
+	return b.Build("bpnn_adjust_weights")
+}

@@ -1,0 +1,488 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// CFD is a simplified unstructured-grid, finite-volume Euler solver in the
+// style of Rodinia's euler3d (Corrigan et al.): per-iteration kernels
+// compute a per-element step factor, gather neighbor states to accumulate
+// Rusanov-style face fluxes (scattered, bandwidth-hungry reads — CFD is one
+// of the biggest winners from extra memory channels in Figure 4), and apply
+// the time step. Far-field boundary conditions live in constant memory,
+// like Rodinia's ff_variable.
+
+const (
+	cfdSide  = 128 // elements = side*side (paper: 97k elements; scaled)
+	cfdIters = 2
+	cfdGamma = 1.4
+	cfdCFL   = 0.2
+	cfdNVar  = 5 // density, 3 momentum components, energy
+	cfdNNb   = 4
+)
+
+// CFD is the CFD solver benchmark (Unstructured Grid dwarf).
+var CFD = &Benchmark{
+	Name:      "CFD Solver",
+	Abbrev:    "CFD",
+	Dwarf:     "Unstructured Grid",
+	Domain:    "Fluid Dynamics",
+	PaperSize: "97k elements",
+	SimSize:   fmt.Sprintf("%dk elements", cfdSide*cfdSide/1000),
+	New:       func() *Instance { return newCFD(cfdSide, cfdIters) },
+}
+
+func newCFD(side, iters int) *Instance {
+	nel := side * side
+	mem := isa.NewMemory()
+	vars := mem.AllocGlobal(cfdNVar * nel * 4)   // var[v*nel + i]
+	fluxes := mem.AllocGlobal(cfdNVar * nel * 4) // flux[v*nel + i]
+	sf := mem.AllocGlobal(nel * 4)
+	nbrs := mem.AllocGlobal(nel * cfdNNb * 4)        // i32, -1 = far field
+	normals := mem.AllocGlobal(nel * cfdNNb * 3 * 4) // f32 per-face normal
+	ff := mem.AllocConst(cfdNVar * 4)                // far-field state
+
+	// Build a structured mesh treated as unstructured: element numbering is
+	// shuffled so neighbor gathers are scattered in memory.
+	r := newRNG(13)
+	perm := make([]int, nel)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := nel - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	cell := func(x, y int) int { return perm[y*side+x] }
+	nbv := make([]int32, nel*cfdNNb)
+	nrm := make([]float64, nel*cfdNNb*3)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			i := cell(x, y)
+			set := func(j int, nb int32, nx, ny float64) {
+				nbv[i*cfdNNb+j] = nb
+				nrm[(i*cfdNNb+j)*3] = nx
+				nrm[(i*cfdNNb+j)*3+1] = ny
+			}
+			west, east, south, north := int32(-1), int32(-1), int32(-1), int32(-1)
+			if x > 0 {
+				west = int32(cell(x-1, y))
+			}
+			if x < side-1 {
+				east = int32(cell(x+1, y))
+			}
+			if y > 0 {
+				south = int32(cell(x, y-1))
+			}
+			if y < side-1 {
+				north = int32(cell(x, y+1))
+			}
+			set(0, west, -1, 0)
+			set(1, east, 1, 0)
+			set(2, south, 0, -1)
+			set(3, north, 0, 1)
+		}
+	}
+	for i, v := range nbv {
+		mem.WriteI32(isa.SpaceGlobal, nbrs+uint64(i*4), v)
+	}
+	for i, v := range nrm {
+		mem.WriteF32(isa.SpaceGlobal, normals+uint64(i*4), float32(v))
+	}
+
+	// Initial state: smooth density/energy bump, small velocity.
+	initVars := make([]float64, cfdNVar*nel)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			i := cell(x, y)
+			fx := float64(x)/float64(side) - 0.5
+			fy := float64(y)/float64(side) - 0.5
+			rho := 1 + 0.2*math.Exp(-20*(fx*fx+fy*fy))
+			initVars[0*nel+i] = rho
+			initVars[1*nel+i] = 0.1 * rho
+			initVars[2*nel+i] = 0.05 * rho
+			initVars[3*nel+i] = 0
+			initVars[4*nel+i] = 2.5 + 0.5*rho
+		}
+	}
+	for i, v := range initVars {
+		mem.WriteF32(isa.SpaceGlobal, vars+uint64(i*4), float32(v))
+	}
+	ffState := []float64{1, 0.1, 0.05, 0, 2.5}
+	for i, v := range ffState {
+		mem.WriteF32(isa.SpaceConst, ff+uint64(i*4), float32(v))
+	}
+
+	mem.SetParamI(0, int64(vars))
+	mem.SetParamI(1, int64(fluxes))
+	mem.SetParamI(2, int64(sf))
+	mem.SetParamI(3, int64(nbrs))
+	mem.SetParamI(4, int64(normals))
+	mem.SetParamI(5, int64(ff))
+	mem.SetParamI(6, int64(nel))
+
+	ksf := cfdStepFactorKernel()
+	kflux := cfdFluxKernel()
+	kstep := cfdTimeStepKernel()
+	launch := isa.Launch{Grid: ceilDiv(nel, 192), Block: 192} // Rodinia uses 192
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		for it := 0; it < iters; it++ {
+			if err := ex.Launch(ksf, launch, mem); err != nil {
+				return err
+			}
+			if err := ex.Launch(kflux, launch, mem); err != nil {
+				return err
+			}
+			if err := ex.Launch(kstep, launch, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Reference in float64 with float32 state rounding per step.
+		v := make([]float64, cfdNVar*nel)
+		for i := range v {
+			v[i] = float64(float32(initVars[i]))
+		}
+		fl := make([]float64, cfdNVar*nel)
+		sfv := make([]float64, nel)
+		state := func(arr []float64, i int) (rho, u, w, z, p, c, e float64) {
+			rho = arr[0*nel+i]
+			u = arr[1*nel+i] / rho
+			w = arr[2*nel+i] / rho
+			z = arr[3*nel+i] / rho
+			e = arr[4*nel+i]
+			p = (cfdGamma - 1) * (e - 0.5*rho*(u*u+w*w+z*z))
+			c = math.Sqrt(cfdGamma * p / rho)
+			return
+		}
+		ffArr := make([]float64, cfdNVar*nel) // broadcast far field
+		for i := 0; i < nel; i++ {
+			for vv := 0; vv < cfdNVar; vv++ {
+				ffArr[vv*nel+i] = float64(float32(ffState[vv]))
+			}
+		}
+		for it := 0; it < iters; it++ {
+			for i := 0; i < nel; i++ {
+				_, u, w, z, _, c, _ := state(v, i)
+				speed := math.Sqrt(u*u+w*w+z*z) + c
+				sfv[i] = cfdCFL / speed
+			}
+			for i := 0; i < nel; i++ {
+				rhoI, uI, wI, zI, pI, cI, eI := state(v, i)
+				var acc [cfdNVar]float64
+				for j := 0; j < cfdNNb; j++ {
+					nb := nbv[i*cfdNNb+j]
+					nx := float64(float32(nrm[(i*cfdNNb+j)*3]))
+					ny := float64(float32(nrm[(i*cfdNNb+j)*3+1]))
+					src := v
+					k := int(nb)
+					if nb < 0 {
+						src = ffArr
+						k = i
+					}
+					rhoN, uN, wN, zN, pN, cN, eN := state(src, k)
+					unI := uI*nx + wI*ny
+					unN := uN*nx + wN*ny
+					lam := 0.5*math.Abs(unI+unN) + math.Max(cI, cN)
+					fluxF := func(rho, u, w, z, p, e, un float64) [cfdNVar]float64 {
+						return [cfdNVar]float64{
+							rho * un,
+							rho*u*un + p*nx,
+							rho*w*un + p*ny,
+							rho * z * un,
+							(e + p) * un,
+						}
+					}
+					fi := fluxF(rhoI, uI, wI, zI, pI, eI, unI)
+					fn := fluxF(rhoN, uN, wN, zN, pN, eN, unN)
+					own := [cfdNVar]float64{rhoI, rhoI * uI, rhoI * wI, rhoI * zI, eI}
+					oth := [cfdNVar]float64{rhoN, rhoN * uN, rhoN * wN, rhoN * zN, eN}
+					for vv := 0; vv < cfdNVar; vv++ {
+						acc[vv] += 0.5*(fi[vv]+fn[vv]) - 0.5*lam*(oth[vv]-own[vv])
+					}
+				}
+				for vv := 0; vv < cfdNVar; vv++ {
+					fl[vv*nel+i] = float64(float32(-acc[vv]))
+				}
+			}
+			for i := 0; i < nel; i++ {
+				for vv := 0; vv < cfdNVar; vv++ {
+					v[vv*nel+i] = float64(float32(v[vv*nel+i] + sfv[i]*fl[vv*nel+i]))
+				}
+			}
+		}
+		for _, i := range sampleIndices(cfdNVar*nel, 400) {
+			got := float64(mem.ReadF32(isa.SpaceGlobal, vars+uint64(i*4)))
+			if math.Abs(got-v[i]) > 2e-2*(1+math.Abs(v[i])) {
+				return fmt.Errorf("var[%d] = %g, want %g", i, got, v[i])
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// cfdLoadState emits loads of element idx's five conserved variables from
+// base (global) and computes primitive state; when fromConst is true the
+// state is the constant-memory far field.
+type cfdState struct {
+	rho, u, w, z, e, p, c isa.FReg
+	mx, my, mz            isa.FReg
+}
+
+func cfdEmitState(b *isa.Builder, base, nel, idx isa.IReg, fromConst bool, constBase isa.IReg) cfdState {
+	s := cfdState{
+		rho: b.F(), u: b.F(), w: b.F(), z: b.F(), e: b.F(), p: b.F(), c: b.F(),
+		mx: b.F(), my: b.F(), mz: b.F(),
+	}
+	a := b.I()
+	load := func(dst isa.FReg, v int) {
+		if fromConst {
+			b.LdF(dst, isa.F32, isa.SpaceConst, constBase, int64(v*4))
+			return
+		}
+		b.MovI(a, int64(v))
+		b.IMul(a, a, nel)
+		b.IAdd(a, a, idx)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, base)
+		b.LdF(dst, isa.F32, isa.SpaceGlobal, a, 0)
+	}
+	load(s.rho, 0)
+	load(s.mx, 1)
+	load(s.my, 2)
+	load(s.mz, 3)
+	load(s.e, 4)
+	// Primitives.
+	inv := b.F()
+	one := b.F()
+	b.MovF(one, 1)
+	b.FDiv(inv, one, s.rho)
+	b.FMul(s.u, s.mx, inv)
+	b.FMul(s.w, s.my, inv)
+	b.FMul(s.z, s.mz, inv)
+	// p = (gamma-1)*(e - 0.5*rho*(u²+w²+z²))
+	ke, t2 := b.F(), b.F()
+	b.FMul(ke, s.u, s.u)
+	b.FMul(t2, s.w, s.w)
+	b.FAdd(ke, ke, t2)
+	b.FMul(t2, s.z, s.z)
+	b.FAdd(ke, ke, t2)
+	b.FMul(t2, ke, s.rho)
+	b.FMulI(t2, t2, 0.5)
+	b.FSub(s.p, s.e, t2)
+	b.FMulI(s.p, s.p, cfdGamma-1)
+	// c = sqrt(gamma*p/rho)
+	b.FMul(s.c, s.p, inv)
+	b.FMulI(s.c, s.c, cfdGamma)
+	b.Sqrt(s.c, s.c)
+	return s
+}
+
+func cfdStepFactorKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pvar, psf, pnel := b.I(), b.I(), b.I()
+	b.LdParamI(pvar, 0)
+	b.LdParamI(psf, 2)
+	b.LdParamI(pnel, 6)
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, pnel)
+	b.If(inR, func() {
+		s := cfdEmitState(b, pvar, pnel, gid, false, gid)
+		speed, t := b.F(), b.F()
+		b.FMul(speed, s.u, s.u)
+		b.FMul(t, s.w, s.w)
+		b.FAdd(speed, speed, t)
+		b.FMul(t, s.z, s.z)
+		b.FAdd(speed, speed, t)
+		b.Sqrt(speed, speed)
+		b.FAdd(speed, speed, s.c)
+		sf := b.F()
+		b.MovF(sf, cfdCFL)
+		b.FDiv(sf, sf, speed)
+		a := b.I()
+		b.ShlI(a, gid, 2)
+		b.IAdd(a, a, psf)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, sf)
+	}, nil)
+	return b.Build("cfd_step_factor")
+}
+
+func cfdFluxKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pvar, pflux, pnbr, pnorm, pff, pnel := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pvar, 0)
+	b.LdParamI(pflux, 1)
+	b.LdParamI(pnbr, 3)
+	b.LdParamI(pnorm, 4)
+	b.LdParamI(pff, 5)
+	b.LdParamI(pnel, 6)
+
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, pnel)
+	b.If(inR, func() {
+		own := cfdEmitState(b, pvar, pnel, gid, false, gid)
+		acc := make([]isa.FReg, cfdNVar)
+		for v := range acc {
+			acc[v] = b.F()
+			b.MovF(acc[v], 0)
+		}
+		nb, a := b.I(), b.I()
+		nx, ny := b.F(), b.F()
+		for j := 0; j < cfdNNb; j++ {
+			// Load neighbor id and face normal.
+			b.IMulI(a, gid, cfdNNb)
+			b.IAddI(a, a, int64(j))
+			fb := b.I()
+			b.Mov(fb, a)
+			b.ShlI(a, a, 2)
+			b.IAdd(a, a, pnbr)
+			b.Ld(nb, isa.I32, isa.SpaceGlobal, a, 0)
+			b.IMulI(fb, fb, 12)
+			b.IAdd(fb, fb, pnorm)
+			b.LdF(nx, isa.F32, isa.SpaceGlobal, fb, 0)
+			b.LdF(ny, isa.F32, isa.SpaceGlobal, fb, 4)
+
+			interior := b.P()
+			b.SetpII(interior, isa.CmpGE, nb, 0)
+			oth := cfdState{
+				rho: b.F(), u: b.F(), w: b.F(), z: b.F(), e: b.F(), p: b.F(), c: b.F(),
+				mx: b.F(), my: b.F(), mz: b.F(),
+			}
+			b.If(interior, func() {
+				s := cfdEmitState(b, pvar, pnel, nb, false, nb)
+				copyState(b, &oth, &s)
+			}, func() {
+				s := cfdEmitState(b, pvar, pnel, gid, true, pff)
+				copyState(b, &oth, &s)
+			})
+
+			// un for both states; lam = 0.5|unI+unN| + max(cI,cN).
+			unI, unN, t := b.F(), b.F(), b.F()
+			b.FMul(unI, own.u, nx)
+			b.FMul(t, own.w, ny)
+			b.FAdd(unI, unI, t)
+			b.FMul(unN, oth.u, nx)
+			b.FMul(t, oth.w, ny)
+			b.FAdd(unN, unN, t)
+			lam := b.F()
+			b.FAdd(lam, unI, unN)
+			b.FAbs(lam, lam)
+			b.FMulI(lam, lam, 0.5)
+			b.FMax(t, own.c, oth.c)
+			b.FAdd(lam, lam, t)
+
+			// Face flux per variable:
+			// 0.5*(F_i + F_n) - 0.5*lam*(q_n - q_i)
+			emit := func(vidx int, fi, fn, qi, qn isa.FReg) {
+				sum, diff := b.F(), b.F()
+				b.FAdd(sum, fi, fn)
+				b.FMulI(sum, sum, 0.5)
+				b.FSub(diff, qn, qi)
+				b.FMul(diff, diff, lam)
+				b.FMulI(diff, diff, 0.5)
+				b.FSub(sum, sum, diff)
+				b.FAdd(acc[vidx], acc[vidx], sum)
+			}
+			fi, fn := b.F(), b.F()
+			// rho: rho*un
+			b.FMul(fi, own.rho, unI)
+			b.FMul(fn, oth.rho, unN)
+			emit(0, fi, fn, own.rho, oth.rho)
+			// mx: mx*un + p*nx
+			b.FMul(fi, own.mx, unI)
+			b.FMul(t, own.p, nx)
+			b.FAdd(fi, fi, t)
+			b.FMul(fn, oth.mx, unN)
+			b.FMul(t, oth.p, nx)
+			b.FAdd(fn, fn, t)
+			emit(1, fi, fn, own.mx, oth.mx)
+			// my: my*un + p*ny
+			b.FMul(fi, own.my, unI)
+			b.FMul(t, own.p, ny)
+			b.FAdd(fi, fi, t)
+			b.FMul(fn, oth.my, unN)
+			b.FMul(t, oth.p, ny)
+			b.FAdd(fn, fn, t)
+			emit(2, fi, fn, own.my, oth.my)
+			// mz: mz*un
+			b.FMul(fi, own.mz, unI)
+			b.FMul(fn, oth.mz, unN)
+			emit(3, fi, fn, own.mz, oth.mz)
+			// e: (e+p)*un
+			b.FAdd(fi, own.e, own.p)
+			b.FMul(fi, fi, unI)
+			b.FAdd(fn, oth.e, oth.p)
+			b.FMul(fn, fn, unN)
+			emit(4, fi, fn, own.e, oth.e)
+		}
+		// Store -acc (flux divergence enters with a negative sign).
+		for v := 0; v < cfdNVar; v++ {
+			b.FNeg(acc[v], acc[v])
+			b.MovI(a, int64(v))
+			b.IMul(a, a, pnel)
+			b.IAdd(a, a, gid)
+			b.ShlI(a, a, 2)
+			b.IAdd(a, a, pflux)
+			b.StF(isa.F32, isa.SpaceGlobal, a, 0, acc[v])
+		}
+	}, nil)
+	return b.Build("cfd_compute_flux")
+}
+
+func copyState(b *isa.Builder, dst, src *cfdState) {
+	b.FMov(dst.rho, src.rho)
+	b.FMov(dst.u, src.u)
+	b.FMov(dst.w, src.w)
+	b.FMov(dst.z, src.z)
+	b.FMov(dst.e, src.e)
+	b.FMov(dst.p, src.p)
+	b.FMov(dst.c, src.c)
+	b.FMov(dst.mx, src.mx)
+	b.FMov(dst.my, src.my)
+	b.FMov(dst.mz, src.mz)
+}
+
+func cfdTimeStepKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pvar, pflux, psf, pnel := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pvar, 0)
+	b.LdParamI(pflux, 1)
+	b.LdParamI(psf, 2)
+	b.LdParamI(pnel, 6)
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, pnel)
+	b.If(inR, func() {
+		sf := b.F()
+		a := b.I()
+		b.ShlI(a, gid, 2)
+		b.IAdd(a, a, psf)
+		b.LdF(sf, isa.F32, isa.SpaceGlobal, a, 0)
+		v, f := b.F(), b.F()
+		for vv := 0; vv < cfdNVar; vv++ {
+			b.MovI(a, int64(vv))
+			b.IMul(a, a, pnel)
+			b.IAdd(a, a, gid)
+			b.ShlI(a, a, 2)
+			va, fa := b.I(), b.I()
+			b.IAdd(va, a, pvar)
+			b.IAdd(fa, a, pflux)
+			b.LdF(v, isa.F32, isa.SpaceGlobal, va, 0)
+			b.LdF(f, isa.F32, isa.SpaceGlobal, fa, 0)
+			b.FMA(v, sf, f, v)
+			b.StF(isa.F32, isa.SpaceGlobal, va, 0, v)
+		}
+	}, nil)
+	return b.Build("cfd_time_step")
+}

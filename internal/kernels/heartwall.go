@@ -1,0 +1,330 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Heartwall tracks sample points on the inner and outer walls of a mouse
+// heart across a frame sequence. It exhibits braided parallelism: each
+// thread block owns one tracking point (task parallelism) and its threads
+// evaluate the search-window offsets in parallel (data parallelism), all
+// inside a single kernel launch per frame. The per-point templates and
+// parameters live in constant memory — which is why Heartwall is the
+// constant-memory-heavy bar of Figure 2 — and the inner/outer wall points
+// take different scoring paths (the region-dependent control flow the
+// paper mentions).
+
+const (
+	hwFrameH  = 128
+	hwFrameW  = 128
+	hwFrames  = 5  // paper: 104 frames; scaled
+	hwPoints  = 36 // paper: 51 points (2 walls); scaled
+	hwInner   = 20 // first hwInner points are inner-wall points
+	hwTpl     = 8  // template edge (pixels)
+	hwWin     = 13 // search window edge (offsets per axis)
+	hwOffs    = hwWin * hwWin
+	hwPenalty = 0.05
+)
+
+// Heartwall is the Heart Wall Tracking benchmark (Structured Grid dwarf).
+var Heartwall = &Benchmark{
+	Name:      "Heart Wall Tracking",
+	Abbrev:    "HW",
+	Dwarf:     "Structured Grid",
+	Domain:    "Medical Imaging",
+	PaperSize: "609x590 pixels/frame, 104 frames",
+	SimSize:   fmt.Sprintf("%dx%d pixels/frame, %d frames, %d points", hwFrameW, hwFrameH, hwFrames, hwPoints),
+	New:       newHeartwall,
+}
+
+// hwFramePixel generates the synthetic ultrasound-like frame sequence:
+// a slowly deforming ring (the heart wall) plus deterministic speckle.
+func hwFramePixel(frame, y, x int) float32 {
+	cy, cx := float64(hwFrameH)/2, float64(hwFrameW)/2
+	r := math.Hypot(float64(y)-cy, float64(x)-cx)
+	wall := 30 + 3*math.Sin(float64(frame)*0.7)
+	ring := math.Exp(-0.05 * (r - wall) * (r - wall))
+	speckle := 0.2 * math.Sin(float64(3*x+7*y+11*frame))
+	return float32(ring + speckle)
+}
+
+func newHeartwall() *Instance {
+	mem := isa.NewMemory()
+	npix := hwFrameH * hwFrameW
+	frameTex := mem.AllocTex(npix * 4)
+	templates := mem.AllocConst(hwPoints * hwTpl * hwTpl * 4)
+	pointsG := mem.AllocGlobal(hwPoints * 2 * 4) // (y, x) int32 pairs
+	bestG := mem.AllocGlobal(hwPoints * 4)       // best score per point
+
+	// Initial points on the ring.
+	type pt struct{ y, x int32 }
+	initPts := make([]pt, hwPoints)
+	for i := range initPts {
+		th := 2 * math.Pi * float64(i%hwInner) / hwInner
+		radius := 30.0
+		if i >= hwInner {
+			th = 2 * math.Pi * float64(i-hwInner) / (hwPoints - hwInner)
+			radius = 36
+		}
+		initPts[i] = pt{
+			y: int32(float64(hwFrameH)/2 + radius*math.Sin(th)),
+			x: int32(float64(hwFrameW)/2 + radius*math.Cos(th)),
+		}
+	}
+
+	// Templates sampled from frame 0 around the initial points.
+	frame0 := make([]float32, npix)
+	for y := 0; y < hwFrameH; y++ {
+		for x := 0; x < hwFrameW; x++ {
+			frame0[y*hwFrameW+x] = hwFramePixel(0, y, x)
+		}
+	}
+	tpl := make([]float32, hwPoints*hwTpl*hwTpl)
+	for i, p := range initPts {
+		for ty := 0; ty < hwTpl; ty++ {
+			for tx := 0; tx < hwTpl; tx++ {
+				yy := int(p.y) + ty - hwTpl/2
+				xx := int(p.x) + tx - hwTpl/2
+				v := float32(0)
+				if yy >= 0 && yy < hwFrameH && xx >= 0 && xx < hwFrameW {
+					v = frame0[yy*hwFrameW+xx]
+				}
+				tpl[(i*hwTpl+ty)*hwTpl+tx] = v
+			}
+		}
+	}
+	for i, v := range tpl {
+		mem.WriteF32(isa.SpaceConst, templates+uint64(i*4), v)
+	}
+	writePoints := func(pts []pt) {
+		for i, p := range pts {
+			mem.WriteI32(isa.SpaceGlobal, pointsG+uint64(i*8), p.y)
+			mem.WriteI32(isa.SpaceGlobal, pointsG+uint64(i*8+4), p.x)
+		}
+	}
+	writePoints(initPts)
+
+	mem.SetParamI(0, int64(frameTex))
+	mem.SetParamI(1, int64(templates))
+	mem.SetParamI(2, int64(pointsG))
+	mem.SetParamI(3, int64(bestG))
+
+	k := hwKernel()
+	launch := isa.Launch{Grid: hwPoints, Block: 256}
+
+	loadFrame := func(f int) {
+		for y := 0; y < hwFrameH; y++ {
+			for x := 0; x < hwFrameW; x++ {
+				mem.WriteF32(isa.SpaceTex, frameTex+uint64((y*hwFrameW+x)*4), hwFramePixel(f, y, x))
+			}
+		}
+	}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		writePoints(initPts)
+		for f := 1; f <= hwFrames; f++ {
+			loadFrame(f)
+			if err := ex.Launch(k, launch, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Replicate the whole tracking sequence on the CPU.
+		pts := append([]pt(nil), initPts...)
+		for f := 1; f <= hwFrames; f++ {
+			frame := make([]float32, npix)
+			for y := 0; y < hwFrameH; y++ {
+				for x := 0; x < hwFrameW; x++ {
+					frame[y*hwFrameW+x] = hwFramePixel(f, y, x)
+				}
+			}
+			for i := range pts {
+				bestScore := math.Inf(1)
+				var bestOff int
+				for o := 0; o < hwOffs; o++ {
+					oy := o/hwWin - hwWin/2
+					ox := o%hwWin - hwWin/2
+					ssd := 0.0
+					for ty := 0; ty < hwTpl; ty++ {
+						for tx := 0; tx < hwTpl; tx++ {
+							yy := int(pts[i].y) + oy + ty - hwTpl/2
+							xx := int(pts[i].x) + ox + tx - hwTpl/2
+							v := 0.0
+							if yy >= 0 && yy < hwFrameH && xx >= 0 && xx < hwFrameW {
+								v = float64(frame[yy*hwFrameW+xx])
+							}
+							d := v - float64(tpl[(i*hwTpl+ty)*hwTpl+tx])
+							ssd += d * d
+						}
+					}
+					if i >= hwInner {
+						// Outer-wall points penalize drift.
+						ssd += hwPenalty * float64(oy*oy+ox*ox)
+					}
+					if ssd < bestScore {
+						bestScore = ssd
+						bestOff = o
+					}
+				}
+				pts[i].y += int32(bestOff/hwWin - hwWin/2)
+				pts[i].x += int32(bestOff%hwWin - hwWin/2)
+			}
+		}
+		for i := range pts {
+			gy := mem.ReadI32(isa.SpaceGlobal, pointsG+uint64(i*8))
+			gx := mem.ReadI32(isa.SpaceGlobal, pointsG+uint64(i*8+4))
+			if gy != pts[i].y || gx != pts[i].x {
+				return fmt.Errorf("point %d = (%d,%d), want (%d,%d)", i, gy, gx, pts[i].y, pts[i].x)
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// hwKernel: block = one tracking point; threads 0..168 each score one
+// search offset (partially filling the last warp), then a shared-memory
+// argmin picks the displacement and lane 0 updates the point.
+func hwKernel() *isa.Kernel {
+	const (
+		shScore = 0
+		shIdx   = hwOffs * 4 // scores then indices
+	)
+	b := isa.NewBuilder()
+	b.SetShared(hwOffs*4 + hwOffs*4)
+
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	pframe, ptpl, ppts, pbest := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pframe, 0)
+	b.LdParamI(ptpl, 1)
+	b.LdParamI(ppts, 2)
+	b.LdParamI(pbest, 3)
+
+	// Point position.
+	py, px := b.I(), b.I()
+	a := b.I()
+	b.ShlI(a, cta, 3)
+	b.IAdd(a, a, ppts)
+	b.Ld(py, isa.I32, isa.SpaceGlobal, a, 0)
+	b.Ld(px, isa.I32, isa.SpaceGlobal, a, 4)
+
+	active := b.P()
+	b.SetpII(active, isa.CmpLT, tid, hwOffs)
+	b.If(active, func() {
+		oy, ox := b.I(), b.I()
+		b.IDivI(oy, tid, hwWin)
+		b.IAddI(oy, oy, -(hwWin / 2))
+		b.IRemI(ox, tid, hwWin)
+		b.IAddI(ox, ox, -(hwWin / 2))
+
+		ssd := b.F()
+		b.MovF(ssd, 0)
+		ty, tx := b.I(), b.I()
+		v, tv, d := b.F(), b.F(), b.F()
+		yy, xx, ta := b.I(), b.I(), b.I()
+		b.ForI(ty, 0, hwTpl, 1, func() {
+			b.ForI(tx, 0, hwTpl, 1, func() {
+				b.IAdd(yy, py, oy)
+				b.IAdd(yy, yy, ty)
+				b.IAddI(yy, yy, -(hwTpl / 2))
+				b.IAdd(xx, px, ox)
+				b.IAdd(xx, xx, tx)
+				b.IAddI(xx, xx, -(hwTpl / 2))
+				b.MovF(v, 0)
+				pIn, pt := b.P(), b.P()
+				b.SetpII(pIn, isa.CmpGE, yy, 0)
+				b.SetpII(pt, isa.CmpLT, yy, hwFrameH)
+				b.PAnd(pIn, pIn, pt)
+				b.SetpII(pt, isa.CmpGE, xx, 0)
+				b.PAnd(pIn, pIn, pt)
+				b.SetpII(pt, isa.CmpLT, xx, hwFrameW)
+				b.PAnd(pIn, pIn, pt)
+				b.If(pIn, func() {
+					b.IMulI(ta, yy, hwFrameW)
+					b.IAdd(ta, ta, xx)
+					b.ShlI(ta, ta, 2)
+					b.IAdd(ta, ta, pframe)
+					b.LdF(v, isa.F32, isa.SpaceTex, ta, 0)
+				}, nil)
+				// Template pixel from constant memory.
+				b.IMulI(ta, cta, hwTpl)
+				b.IAdd(ta, ta, ty)
+				b.IMulI(ta, ta, hwTpl)
+				b.IAdd(ta, ta, tx)
+				b.ShlI(ta, ta, 2)
+				b.IAdd(ta, ta, ptpl)
+				b.LdF(tv, isa.F32, isa.SpaceConst, ta, 0)
+				b.FSub(d, v, tv)
+				b.FMA(ssd, d, d, ssd)
+			})
+		})
+		// Outer-wall points (block-uniform branch) add a drift penalty.
+		outer := b.P()
+		b.SetpII(outer, isa.CmpGE, cta, hwInner)
+		b.If(outer, func() {
+			o2 := b.I()
+			pen := b.F()
+			b.IMul(o2, oy, oy)
+			t2 := b.I()
+			b.IMul(t2, ox, ox)
+			b.IAdd(o2, o2, t2)
+			b.I2F(pen, o2)
+			b.FMulI(pen, pen, hwPenalty)
+			b.FAdd(ssd, ssd, pen)
+		}, nil)
+
+		sa := b.I()
+		b.ShlI(sa, tid, 2)
+		b.StF(isa.F32, isa.SpaceShared, sa, shScore, ssd)
+		b.St(isa.I32, isa.SpaceShared, sa, shIdx, tid)
+	}, nil)
+	b.Bar()
+
+	// Argmin reduction over hwOffs entries (lane 0, sequential — the
+	// reduction is tiny compared to the scoring loop).
+	p0 := b.P()
+	b.SetpII(p0, isa.CmpEQ, tid, 0)
+	b.If(p0, func() {
+		best, v := b.F(), b.F()
+		bi, o, sa2 := b.I(), b.I(), b.I()
+		zero := b.I()
+		b.MovI(zero, 0)
+		b.LdF(best, isa.F32, isa.SpaceShared, zero, shScore)
+		b.MovI(bi, 0)
+		b.ForI(o, 1, hwOffs, 1, func() {
+			b.ShlI(sa2, o, 2)
+			b.LdF(v, isa.F32, isa.SpaceShared, sa2, shScore)
+			pl := b.P()
+			b.SetpF(pl, isa.CmpLT, v, best)
+			b.SelF(best, pl, v, best)
+			b.SelI(bi, pl, o, bi)
+		})
+		// Update the point with the winning displacement.
+		oy, ox := b.I(), b.I()
+		b.IDivI(oy, bi, hwWin)
+		b.IAddI(oy, oy, -(hwWin / 2))
+		b.IRemI(ox, bi, hwWin)
+		b.IAddI(ox, ox, -(hwWin / 2))
+		b.IAdd(py, py, oy)
+		b.IAdd(px, px, ox)
+		pa := b.I()
+		b.ShlI(pa, cta, 3)
+		b.IAdd(pa, pa, ppts)
+		b.St(isa.I32, isa.SpaceGlobal, pa, 0, py)
+		b.St(isa.I32, isa.SpaceGlobal, pa, 4, px)
+		ba := b.I()
+		b.ShlI(ba, cta, 2)
+		b.IAdd(ba, ba, pbest)
+		b.StF(isa.F32, isa.SpaceGlobal, ba, 0, best)
+	}, nil)
+	return b.Build("heartwall_track")
+}

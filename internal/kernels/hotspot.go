@@ -1,0 +1,279 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// HotSpot is the thermal simulation stencil. Each 16x16 thread block loads
+// a temperature tile with a two-cell halo into shared memory and advances
+// it hsPyramid time steps before writing the 12x12 interior back — the
+// ghost-zone pyramid of Rodinia's HotSpot (Meng & Skadron), which trades
+// redundant halo computation for DRAM traffic. The host ping-pongs two
+// temperature buffers across launches.
+
+const (
+	hsN       = 512 // paper: 500x500; rounded to 512 for tiling
+	hsIters   = 4
+	hsBlock   = 16
+	hsPyramid = 4 // time steps fused per kernel launch (ghost-zone pyramid)
+	hsTile    = hsBlock - 2*hsPyramid
+	hsCap     = 0.5
+	hsRx      = 1.0
+	hsRy      = 1.0
+	hsRz      = 4.0
+	hsStep    = 0.01
+	hsAmbient = 80.0
+)
+
+// HotSpot is the HotSpot benchmark (Structured Grid dwarf).
+var HotSpot = &Benchmark{
+	Name:      "HotSpot",
+	Abbrev:    "HS",
+	Dwarf:     "Structured Grid",
+	Domain:    "Physics Simulation",
+	PaperSize: "500x500 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", hsN, hsN, hsIters),
+	New:       func() *Instance { return newHotSpot(hsN, hsIters) },
+}
+
+func newHotSpot(n, iters int) *Instance {
+	mem := isa.NewMemory()
+	tempA := mem.AllocGlobal(n * n * 4)
+	tempB := mem.AllocGlobal(n * n * 4)
+	power := mem.AllocGlobal(n * n * 4)
+
+	r := newRNG(11)
+	t0 := make([]float64, n*n)
+	pw := make([]float64, n*n)
+	for i := range t0 {
+		t0[i] = 70 + 20*r.float()
+		pw[i] = r.float() * 0.5
+		mem.WriteF32(isa.SpaceGlobal, tempA+uint64(i*4), float32(t0[i]))
+		mem.WriteF32(isa.SpaceGlobal, power+uint64(i*4), float32(pw[i]))
+	}
+	mem.SetParamI(2, int64(power))
+	mem.SetParamI(3, int64(n))
+
+	k := hotspotKernel()
+	nb := ceilDiv(n, hsTile)
+	mem.SetParamI(4, int64(nb))
+	launch := isa.Launch{Grid: nb * nb, Block: hsBlock * hsBlock}
+
+	src, dst := tempA, tempB
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		src, dst = tempA, tempB
+		for it := 0; it < iters; it += hsPyramid {
+			mem.SetParamI(0, int64(src))
+			mem.SetParamI(1, int64(dst))
+			if err := ex.Launch(k, launch, mem); err != nil {
+				return err
+			}
+			src, dst = dst, src
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// CPU reference with the same update rule.
+		cur := append([]float64(nil), t0...)
+		next := make([]float64, n*n)
+		at := func(g []float64, y, x int) float64 {
+			if y < 0 || y >= n || x < 0 || x >= n {
+				return hsAmbient
+			}
+			return g[y*n+x]
+		}
+		for it := 0; it < iters; it++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					t := cur[y*n+x]
+					d := hsStep / hsCap * (pw[y*n+x] +
+						(at(cur, y+1, x)+at(cur, y-1, x)-2*t)/hsRy +
+						(at(cur, y, x+1)+at(cur, y, x-1)-2*t)/hsRx +
+						(hsAmbient-t)/hsRz)
+					next[y*n+x] = t + d
+				}
+			}
+			cur, next = next, cur
+		}
+		// After the loop, `src` points at the final device buffer.
+		for _, i := range sampleIndices(n*n, 500) {
+			got := float64(mem.ReadF32(isa.SpaceGlobal, src+uint64(i*4)))
+			want := cur[i]
+			if math.Abs(got-want) > 1e-2*(1+math.Abs(want)) {
+				return fmt.Errorf("temp[%d] = %g, want %g", i, got, want)
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// sampleIndices returns k evenly spaced indices in [0, n).
+func sampleIndices(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, i*n/k)
+	}
+	return out
+}
+
+// hotspotStencilStep emits the single-cell update: returns the new
+// temperature given the center/neighbor registers and the power value.
+func hotspotStencilStep(b *isa.Builder, t, tn, ts, te, tw, p isa.FReg) isa.FReg {
+	d, acc, t2 := b.F(), b.F(), b.F()
+	b.FMulI(t2, t, 2)
+	b.FAdd(acc, tn, ts)
+	b.FSub(acc, acc, t2)
+	b.FDivI(acc, acc, hsRy)
+	b.FAdd(d, p, acc)
+	b.FAdd(acc, te, tw)
+	b.FSub(acc, acc, t2)
+	b.FDivI(acc, acc, hsRx)
+	b.FAdd(d, d, acc)
+	b.MovF(acc, hsAmbient)
+	b.FSub(acc, acc, t)
+	b.FDivI(acc, acc, hsRz)
+	b.FAdd(d, d, acc)
+	b.FMulI(d, d, hsStep/hsCap)
+	out := b.F()
+	b.FAdd(out, t, d)
+	return out
+}
+
+// hotspotKernel advances hsPyramid fused time steps over a 16x16 shared
+// tile (two-cell halo), then writes the 12x12 interior.
+func hotspotKernel() *isa.Kernel {
+	const (
+		shA = 0                     // tile at step k
+		shB = hsBlock * hsBlock * 4 // tile at step k+1
+	)
+	b := isa.NewBuilder()
+	b.SetShared(2 * hsBlock * hsBlock * 4)
+
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	tx, ty := b.I(), b.I()
+	b.IAndI(tx, tid, hsBlock-1)
+	b.ShrI(ty, tid, 4)
+
+	psrc, pdst, ppow, pn, pnb := b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(psrc, 0)
+	b.LdParamI(pdst, 1)
+	b.LdParamI(ppow, 2)
+	b.LdParamI(pn, 3)
+	b.LdParamI(pnb, 4)
+
+	bx, by := b.I(), b.I()
+	b.IRem(bx, cta, pnb)
+	b.IDiv(by, cta, pnb)
+
+	// Global coordinates including the two-cell halo shift.
+	gx, gy := b.I(), b.I()
+	b.IMulI(gx, bx, hsTile)
+	b.IAdd(gx, gx, tx)
+	b.IAddI(gx, gx, -hsPyramid)
+	b.IMulI(gy, by, hsTile)
+	b.IAdd(gy, gy, ty)
+	b.IAddI(gy, gy, -hsPyramid)
+
+	// In-chip predicate.
+	inBounds, tmp := b.P(), b.P()
+	zero := b.I()
+	b.MovI(zero, 0)
+	b.SetpI(inBounds, isa.CmpGE, gx, zero)
+	b.SetpI(tmp, isa.CmpLT, gx, pn)
+	b.PAnd(inBounds, inBounds, tmp)
+	b.SetpI(tmp, isa.CmpGE, gy, zero)
+	b.PAnd(inBounds, inBounds, tmp)
+	b.SetpI(tmp, isa.CmpLT, gy, pn)
+	b.PAnd(inBounds, inBounds, tmp)
+
+	// Load tile A (ambient outside the chip) and the power cell.
+	v, pw := b.F(), b.F()
+	b.MovF(v, hsAmbient)
+	b.MovF(pw, 0)
+	gaddr := b.I()
+	b.If(inBounds, func() {
+		b.IMul(gaddr, gy, pn)
+		b.IAdd(gaddr, gaddr, gx)
+		b.ShlI(gaddr, gaddr, 2)
+		paddr := b.I()
+		b.IAdd(paddr, gaddr, ppow)
+		b.LdF(pw, isa.F32, isa.SpaceGlobal, paddr, 0)
+		b.IAdd(gaddr, gaddr, psrc)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, gaddr, 0)
+	}, nil)
+
+	saddr := b.I()
+	b.ShlI(saddr, ty, 4)
+	b.IAdd(saddr, saddr, tx)
+	b.ShlI(saddr, saddr, 2)
+	b.StF(isa.F32, isa.SpaceShared, saddr, shA, v)
+	b.Bar()
+
+	// ring returns the predicate "tx,ty within [lo, hsBlock-1-lo]".
+	ring := func(lo int64) isa.PReg {
+		pr, pt := b.P(), b.P()
+		b.SetpII(pr, isa.CmpGE, tx, lo)
+		b.SetpII(pt, isa.CmpLE, tx, int64(hsBlock-1)-lo)
+		b.PAnd(pr, pr, pt)
+		b.SetpII(pt, isa.CmpGE, ty, lo)
+		b.PAnd(pr, pr, pt)
+		b.SetpII(pt, isa.CmpLE, ty, int64(hsBlock-1)-lo)
+		b.PAnd(pr, pr, pt)
+		return pr
+	}
+
+	// Fused steps within shared memory: step s computes ring s+1 from
+	// tile side s, writing the other tile.
+	srcOff, dstOff := int64(shA), int64(shB)
+	for step := 0; step < hsPyramid-1; step++ {
+		compute := b.P()
+		b.PAnd(compute, ring(int64(step+1)), inBounds)
+		nv := b.F()
+		b.FMov(nv, v) // out-of-chip and outer-ring cells carry over
+		b.If(compute, func() {
+			t, tn, ts, te, tw := b.F(), b.F(), b.F(), b.F(), b.F()
+			b.LdF(t, isa.F32, isa.SpaceShared, saddr, srcOff)
+			b.LdF(tn, isa.F32, isa.SpaceShared, saddr, srcOff-hsBlock*4)
+			b.LdF(ts, isa.F32, isa.SpaceShared, saddr, srcOff+hsBlock*4)
+			b.LdF(tw, isa.F32, isa.SpaceShared, saddr, srcOff-4)
+			b.LdF(te, isa.F32, isa.SpaceShared, saddr, srcOff+4)
+			out := hotspotStencilStep(b, t, tn, ts, te, tw, pw)
+			b.FMov(nv, out)
+		}, nil)
+		b.StF(isa.F32, isa.SpaceShared, saddr, dstOff, nv)
+		b.FMov(v, nv)
+		b.Bar()
+		srcOff, dstOff = dstOff, srcOff
+	}
+
+	// Final step: interior ring hsPyramid writes straight to global.
+	final := b.P()
+	b.PAnd(final, ring(hsPyramid), inBounds)
+	b.If(final, func() {
+		t, tn, ts, te, tw := b.F(), b.F(), b.F(), b.F(), b.F()
+		b.LdF(t, isa.F32, isa.SpaceShared, saddr, srcOff)
+		b.LdF(tn, isa.F32, isa.SpaceShared, saddr, srcOff-hsBlock*4)
+		b.LdF(ts, isa.F32, isa.SpaceShared, saddr, srcOff+hsBlock*4)
+		b.LdF(tw, isa.F32, isa.SpaceShared, saddr, srcOff-4)
+		b.LdF(te, isa.F32, isa.SpaceShared, saddr, srcOff+4)
+		out := hotspotStencilStep(b, t, tn, ts, te, tw, pw)
+		daddr := b.I()
+		b.IMul(daddr, gy, pn)
+		b.IAdd(daddr, daddr, gx)
+		b.ShlI(daddr, daddr, 2)
+		b.IAdd(daddr, daddr, pdst)
+		b.StF(isa.F32, isa.SpaceGlobal, daddr, 0, out)
+	}, nil)
+	return b.Build("hotspot")
+}

@@ -1,0 +1,113 @@
+// Package kernels implements the twelve Rodinia benchmarks on the virtual
+// GPU ISA: Back Propagation, Breadth-First Search, CFD, Heartwall, HotSpot,
+// Kmeans, Leukocyte, LU Decomposition, MUMmerGPU, Needleman-Wunsch, SRAD
+// and StreamCluster, plus the incrementally optimized versions of SRAD and
+// Leukocyte from Table III of the paper.
+//
+// Each benchmark provides an Instance with a host-side Run driver (which
+// may launch several kernels, iterate, and read device results between
+// launches, exactly like the CUDA host code) and a Check that validates
+// device results against a CPU reference implementation.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Instance is one configured run of a benchmark: device memory already
+// populated with inputs, a host driver, and a validation oracle.
+type Instance struct {
+	Bench *Benchmark
+	Mem   *isa.Memory
+
+	run   func(ex isa.Executor, mem *isa.Memory) error
+	check func(mem *isa.Memory) error
+}
+
+// Run executes the benchmark's kernel launches on the executor.
+func (in *Instance) Run(ex isa.Executor) error {
+	if err := in.run(ex, in.Mem); err != nil {
+		return fmt.Errorf("%s: %w", in.Bench.Name, err)
+	}
+	return nil
+}
+
+// Check validates device results against the CPU reference.
+func (in *Instance) Check() error {
+	if err := in.check(in.Mem); err != nil {
+		return fmt.Errorf("%s: %w", in.Bench.Name, err)
+	}
+	return nil
+}
+
+// Benchmark describes one Rodinia application (Table I).
+type Benchmark struct {
+	Name      string
+	Abbrev    string
+	Dwarf     string
+	Domain    string
+	PaperSize string // problem size from Table I
+	SimSize   string // size used here (scaled for simulation tractability)
+
+	New func() *Instance
+}
+
+// Instance builds a fresh instance of the benchmark with its back-pointer
+// set. Prefer this over calling New directly.
+func (b *Benchmark) Instance() *Instance {
+	in := b.New()
+	in.Bench = b
+	return in
+}
+
+// All returns the twelve benchmarks in the paper's figure order:
+// BP, BFS, CFD, HW, HS, KM, LC, LUD, MUM, NW, SRAD, SC.
+func All() []*Benchmark {
+	return []*Benchmark{
+		BackProp, BFS, CFD, Heartwall, HotSpot, Kmeans,
+		Leukocyte, LUD, MUMmer, NW, SRAD, StreamCluster,
+	}
+}
+
+// ByAbbrev looks a benchmark up by its figure label (case-sensitive).
+func ByAbbrev(ab string) (*Benchmark, bool) {
+	for _, b := range All() {
+		if b.Abbrev == ab {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// rng is a small deterministic linear congruential generator so benchmark
+// inputs are reproducible without pulling in math/rand state.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()%(1<<53)) / (1 << 53) }
+
+// globalThreadID emits gid = ctaid*ntid + tid into a fresh register.
+func globalThreadID(b *isa.Builder) isa.IReg {
+	tid, cta, ntid, gid := b.I(), b.I(), b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	b.Rd(ntid, isa.SpecNTid)
+	b.IMul(gid, cta, ntid)
+	b.IAdd(gid, gid, tid)
+	return gid
+}
+
+// ceilDiv returns ceil(a/b) for positive operands.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

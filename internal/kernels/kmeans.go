@@ -1,0 +1,197 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kmeans assigns each point to its nearest cluster center on the GPU and
+// recomputes centers on the host, as Rodinia's kmeans_cuda does. Following
+// the Rodinia optimization the paper highlights, the transposed feature
+// matrix is bound to texture memory and the cluster centers live in
+// constant memory — which is why Kmeans barely responds to extra DRAM
+// channels in Figure 4.
+
+const (
+	kmPoints   = 8192 // paper: 204800 points; scaled for simulation
+	kmFeatures = 34
+	kmClusters = 5
+	kmIters    = 2
+)
+
+// Kmeans is the K-means clustering benchmark (Dense Linear Algebra dwarf).
+var Kmeans = &Benchmark{
+	Name:      "Kmeans",
+	Abbrev:    "KM",
+	Dwarf:     "Dense Linear Algebra",
+	Domain:    "Data Mining",
+	PaperSize: "204800 data points, 34 features",
+	SimSize:   fmt.Sprintf("%d data points, %d features", kmPoints, kmFeatures),
+	New:       func() *Instance { return newKmeans(kmPoints, kmFeatures, kmClusters, kmIters) },
+}
+
+func newKmeans(n, nf, nc, iters int) *Instance {
+	mem := isa.NewMemory()
+	// Transposed features in texture memory: feat[f*n + p].
+	feat := mem.AllocTex(n * nf * 4)
+	centers := mem.AllocConst(nc * nf * 4)
+	membership := mem.AllocGlobal(n * 4)
+
+	r := newRNG(57)
+	fv := make([]float32, n*nf)
+	for p := 0; p < n; p++ {
+		// Points are drawn near one of nc loose blobs so clustering is
+		// non-degenerate.
+		blob := r.intn(nc)
+		for f := 0; f < nf; f++ {
+			v := float32(blob)*2 + float32(r.float())
+			fv[f*n+p] = v
+			mem.WriteF32(isa.SpaceTex, feat+uint64((f*n+p)*4), v)
+		}
+	}
+	// Initial centers: first nc points.
+	cv := make([]float32, nc*nf)
+	for c := 0; c < nc; c++ {
+		for f := 0; f < nf; f++ {
+			cv[c*nf+f] = fv[f*n+c]
+		}
+	}
+	writeCenters := func(vals []float32) {
+		for i, v := range vals {
+			mem.WriteF32(isa.SpaceConst, centers+uint64(i*4), v)
+		}
+	}
+	writeCenters(cv)
+
+	mem.SetParamI(0, int64(feat))
+	mem.SetParamI(1, int64(centers))
+	mem.SetParamI(2, int64(membership))
+	mem.SetParamI(3, int64(n))
+
+	k := kmeansKernel(nf, nc)
+	launch := isa.Launch{Grid: ceilDiv(n, 256), Block: 256}
+
+	// newCenters recomputes centers from memberships (host side).
+	newCenters := func(member func(p int) int32) []float32 {
+		sum := make([]float64, nc*nf)
+		cnt := make([]int, nc)
+		for p := 0; p < n; p++ {
+			c := int(member(p))
+			cnt[c]++
+			for f := 0; f < nf; f++ {
+				sum[c*nf+f] += float64(fv[f*n+p])
+			}
+		}
+		out := make([]float32, nc*nf)
+		for c := 0; c < nc; c++ {
+			for f := 0; f < nf; f++ {
+				if cnt[c] > 0 {
+					out[c*nf+f] = float32(sum[c*nf+f] / float64(cnt[c]))
+				}
+			}
+		}
+		return out
+	}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		for it := 0; it < iters; it++ {
+			if err := ex.Launch(k, launch, mem); err != nil {
+				return err
+			}
+			if it < iters-1 {
+				writeCenters(newCenters(func(p int) int32 {
+					return mem.ReadI32(isa.SpaceGlobal, membership+uint64(p*4))
+				}))
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// CPU reference replicating the kernel's arithmetic: float32
+		// operands widened to float64 accumulation, same feature order.
+		ref := append([]float32(nil), cv...)
+		want := make([]int32, n)
+		assign := func() {
+			for p := 0; p < n; p++ {
+				best, bestD := int32(0), 0.0
+				for c := 0; c < nc; c++ {
+					var d float64
+					for f := 0; f < nf; f++ {
+						diff := float64(fv[f*n+p]) - float64(ref[c*nf+f])
+						d += diff * diff
+					}
+					if c == 0 || d < bestD {
+						best, bestD = int32(c), d
+					}
+				}
+				want[p] = best
+			}
+		}
+		assign()
+		for it := 1; it < iters; it++ {
+			ref = newCenters(func(p int) int32 { return want[p] })
+			assign()
+		}
+		for p := 0; p < n; p++ {
+			got := mem.ReadI32(isa.SpaceGlobal, membership+uint64(p*4))
+			if got != want[p] {
+				return fmt.Errorf("membership[%d] = %d, want %d", p, got, want[p])
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+func kmeansKernel(nf, nc int) *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pfeat, pcent, pmem, pn := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pfeat, 0)
+	b.LdParamI(pcent, 1)
+	b.LdParamI(pmem, 2)
+	b.LdParamI(pn, 3)
+
+	inRange := b.P()
+	b.SetpI(inRange, isa.CmpLT, gid, pn)
+	b.If(inRange, func() {
+		best := b.I()
+		bestD := b.F()
+		b.MovI(best, 0)
+		b.MovF(bestD, 1e30)
+		c := b.I()
+		dist, x, cc, diff := b.F(), b.F(), b.F(), b.F()
+		faddr, caddr, f := b.I(), b.I(), b.I()
+		b.ForI(c, 0, int64(nc), 1, func() {
+			b.MovF(dist, 0)
+			b.ForI(f, 0, int64(nf), 1, func() {
+				// x = tex feat[f*n + gid]
+				b.IMul(faddr, f, pn)
+				b.IAdd(faddr, faddr, gid)
+				b.ShlI(faddr, faddr, 2)
+				b.IAdd(faddr, faddr, pfeat)
+				b.LdF(x, isa.F32, isa.SpaceTex, faddr, 0)
+				// cc = const centers[c*nf + f]
+				b.IMulI(caddr, c, int64(nf))
+				b.IAdd(caddr, caddr, f)
+				b.ShlI(caddr, caddr, 2)
+				b.IAdd(caddr, caddr, pcent)
+				b.LdF(cc, isa.F32, isa.SpaceConst, caddr, 0)
+				b.FSub(diff, x, cc)
+				b.FMA(dist, diff, diff, dist)
+			})
+			closer := b.P()
+			b.SetpF(closer, isa.CmpLT, dist, bestD)
+			b.SelF(bestD, closer, dist, bestD)
+			b.SelI(best, closer, c, best)
+		})
+		maddr := b.I()
+		b.ShlI(maddr, gid, 2)
+		b.IAdd(maddr, maddr, pmem)
+		b.St(isa.I32, isa.SpaceGlobal, maddr, 0, best)
+	}, nil)
+	return b.Build("kmeans_point")
+}

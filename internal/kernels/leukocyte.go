@@ -1,0 +1,354 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Leukocyte tracking detects cells with a GICOV score (directional
+// gradient statistics over circle sample points held in constant memory)
+// followed by a dilation (disk max-filter). Two incremental versions match
+// Table III:
+//
+//   - v1 computes GICOV from texture-bound gradient images but dilates
+//     from plain global memory;
+//   - v2 re-binds the GICOV matrix to texture for the dilation and uses
+//     persistent thread blocks, eliminating almost all global reads and
+//     raising the constant/texture fractions.
+
+const (
+	lcH       = 96 // paper frame: 219x640; scaled
+	lcW       = 240
+	lcSamples = 32 // circle sample points (sin/cos tables in const)
+	lcRadius  = 5
+	lcDisk    = 2 // dilation disk radius
+)
+
+// Leukocyte is the optimized (v2) Leukocyte benchmark (Structured Grid).
+var Leukocyte = &Benchmark{
+	Name:      "Leukocyte Tracking",
+	Abbrev:    "LC",
+	Dwarf:     "Structured Grid",
+	Domain:    "Medical Imaging",
+	PaperSize: "219x640 pixels/frame",
+	SimSize:   fmt.Sprintf("%dx%d pixels/frame", lcH, lcW),
+	New:       func() *Instance { return newLeukocyte(true) },
+}
+
+// LeukocyteV1 is the unoptimized incremental version (Table III).
+var LeukocyteV1 = &Benchmark{
+	Name:      "Leukocyte Tracking (version 1)",
+	Abbrev:    "LCv1",
+	Dwarf:     "Structured Grid",
+	Domain:    "Medical Imaging",
+	PaperSize: "219x640 pixels/frame",
+	SimSize:   fmt.Sprintf("%dx%d pixels/frame", lcH, lcW),
+	New:       func() *Instance { return newLeukocyte(false) },
+}
+
+func newLeukocyte(v2 bool) *Instance {
+	mem := isa.NewMemory()
+	npix := lcH * lcW
+	gradX := mem.AllocTex(npix * 4)
+	gradY := mem.AllocTex(npix * 4)
+	gicovTex := mem.AllocTex(npix * 4) // v2 re-binds GICOV here for dilation
+	sinT := mem.AllocConst(lcSamples * 4)
+	cosT := mem.AllocConst(lcSamples * 4)
+	offX := mem.AllocConst(lcSamples * 4) // precomputed sample offsets
+	offY := mem.AllocConst(lcSamples * 4)
+	gicov := mem.AllocGlobal(npix * 4)
+	dil := mem.AllocGlobal(npix * 4)
+
+	r := newRNG(67)
+	gx := make([]float32, npix)
+	gy := make([]float32, npix)
+	for i := range gx {
+		gx[i] = float32(r.float()*2 - 1)
+		gy[i] = float32(r.float()*2 - 1)
+	}
+	// A few synthetic "cells": circular gradient fields that produce high
+	// GICOV responses.
+	for c := 0; c < 6; c++ {
+		cy, cx := 10+r.intn(lcH-20), 10+r.intn(lcW-20)
+		for dy := -lcRadius - 2; dy <= lcRadius+2; dy++ {
+			for dx := -lcRadius - 2; dx <= lcRadius+2; dx++ {
+				d := math.Hypot(float64(dx), float64(dy))
+				if d < 1 || d > float64(lcRadius)+2 {
+					continue
+				}
+				i := (cy+dy)*lcW + cx + dx
+				gx[i] = float32(float64(dx) / d * 2)
+				gy[i] = float32(float64(dy) / d * 2)
+			}
+		}
+	}
+	for i := range gx {
+		mem.WriteF32(isa.SpaceTex, gradX+uint64(i*4), gx[i])
+		mem.WriteF32(isa.SpaceTex, gradY+uint64(i*4), gy[i])
+	}
+	sins := make([]float32, lcSamples)
+	coss := make([]float32, lcSamples)
+	offs := make([][2]int32, lcSamples)
+	for s := 0; s < lcSamples; s++ {
+		th := 2 * math.Pi * float64(s) / lcSamples
+		sins[s] = float32(math.Sin(th))
+		coss[s] = float32(math.Cos(th))
+		offs[s] = [2]int32{int32(math.Round(float64(lcRadius) * math.Cos(th))),
+			int32(math.Round(float64(lcRadius) * math.Sin(th)))}
+		mem.WriteF32(isa.SpaceConst, sinT+uint64(s*4), sins[s])
+		mem.WriteF32(isa.SpaceConst, cosT+uint64(s*4), coss[s])
+		mem.WriteI32(isa.SpaceConst, offX+uint64(s*4), offs[s][0])
+		mem.WriteI32(isa.SpaceConst, offY+uint64(s*4), offs[s][1])
+	}
+
+	mem.SetParamI(0, int64(gradX))
+	mem.SetParamI(1, int64(gradY))
+	mem.SetParamI(2, int64(gicov))
+	mem.SetParamI(3, int64(dil))
+	mem.SetParamI(4, int64(sinT))
+	mem.SetParamI(5, int64(cosT))
+	mem.SetParamI(6, int64(offX))
+	mem.SetParamI(7, int64(offY))
+	mem.SetParamI(8, int64(gicovTex))
+
+	kg := lcGICOVKernel()
+	kd := lcDilateKernel(v2)
+	launch := isa.Launch{Grid: ceilDiv(npix, 256), Block: 256}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		if err := ex.Launch(kg, launch, mem); err != nil {
+			return err
+		}
+		dLaunch := launch
+		if v2 {
+			// Host-side texture re-bind of the GICOV matrix (a memcpy in
+			// the offload model), then persistent thread blocks.
+			for i := 0; i < npix; i++ {
+				mem.WriteF32(isa.SpaceTex, gicovTex+uint64(i*4),
+					mem.ReadF32(isa.SpaceGlobal, gicov+uint64(i*4)))
+			}
+			dLaunch = isa.Launch{Grid: 56, Block: 256} // persistent blocks
+			mem.SetParamI(9, int64(npix))
+		}
+		return ex.Launch(kd, dLaunch, mem)
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Reference GICOV.
+		want := make([]float64, npix)
+		for y := 0; y < lcH; y++ {
+			for x := 0; x < lcW; x++ {
+				var sum, sum2 float64
+				for s := 0; s < lcSamples; s++ {
+					sx := x + int(offs[s][0])
+					sy := y + int(offs[s][1])
+					if sx < 0 || sx >= lcW || sy < 0 || sy >= lcH {
+						continue
+					}
+					g := float64(gx[sy*lcW+sx])*float64(coss[s]) + float64(gy[sy*lcW+sx])*float64(sins[s])
+					sum += g
+					sum2 += g * g
+				}
+				mean := sum / lcSamples
+				variance := sum2/lcSamples - mean*mean
+				if variance < 1e-6 {
+					variance = 1e-6
+				}
+				want[y*lcW+x] = mean * mean / variance
+			}
+		}
+		for _, i := range sampleIndices(npix, 300) {
+			got := float64(mem.ReadF32(isa.SpaceGlobal, gicov+uint64(i*4)))
+			if math.Abs(got-want[i]) > 1e-3*(1+math.Abs(want[i])) {
+				return fmt.Errorf("gicov[%d] = %g, want %g", i, got, want[i])
+			}
+		}
+		// Reference dilation over the float32-rounded GICOV.
+		for _, i := range sampleIndices(npix, 300) {
+			y, x := i/lcW, i%lcW
+			best := 0.0
+			for dy := -lcDisk; dy <= lcDisk; dy++ {
+				for dx := -lcDisk; dx <= lcDisk; dx++ {
+					yy, xx := y+dy, x+dx
+					if yy < 0 || yy >= lcH || xx < 0 || xx >= lcW {
+						continue
+					}
+					v := float64(float32(want[yy*lcW+xx]))
+					if v > best {
+						best = v
+					}
+				}
+			}
+			got := float64(mem.ReadF32(isa.SpaceGlobal, dil+uint64(i*4)))
+			if math.Abs(got-best) > 1e-3*(1+best) {
+				return fmt.Errorf("dilate[%d] = %g, want %g", i, got, best)
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// lcGICOVKernel computes the GICOV score per pixel: directional gradient
+// statistics over constant-memory circle samples, gradients from texture.
+func lcGICOVKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pgx, pgy, pgicov, psin, pcos, pox, poy := b.I(), b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pgx, 0)
+	b.LdParamI(pgy, 1)
+	b.LdParamI(pgicov, 2)
+	b.LdParamI(psin, 4)
+	b.LdParamI(pcos, 5)
+	b.LdParamI(pox, 6)
+	b.LdParamI(poy, 7)
+
+	inR := b.P()
+	b.SetpII(inR, isa.CmpLT, gid, int64(lcH*lcW))
+	b.If(inR, func() {
+		x, y := b.I(), b.I()
+		b.IRemI(x, gid, lcW)
+		b.IDivI(y, gid, lcW)
+		sum, sum2 := b.F(), b.F()
+		b.MovF(sum, 0)
+		b.MovF(sum2, 0)
+		s := b.I()
+		a, sx, sy := b.I(), b.I(), b.I()
+		ox, oy := b.I(), b.I()
+		gxv, gyv, sv, cv, g := b.F(), b.F(), b.F(), b.F(), b.F()
+		b.ForI(s, 0, lcSamples, 1, func() {
+			b.ShlI(a, s, 2)
+			oa := b.I()
+			b.IAdd(oa, a, pox)
+			b.Ld(ox, isa.I32, isa.SpaceConst, oa, 0)
+			b.IAdd(oa, a, poy)
+			b.Ld(oy, isa.I32, isa.SpaceConst, oa, 0)
+			b.IAdd(sx, x, ox)
+			b.IAdd(sy, y, oy)
+			pIn, pt := b.P(), b.P()
+			b.SetpII(pIn, isa.CmpGE, sx, 0)
+			b.SetpII(pt, isa.CmpLT, sx, lcW)
+			b.PAnd(pIn, pIn, pt)
+			b.SetpII(pt, isa.CmpGE, sy, 0)
+			b.PAnd(pIn, pIn, pt)
+			b.SetpII(pt, isa.CmpLT, sy, lcH)
+			b.PAnd(pIn, pIn, pt)
+			b.If(pIn, func() {
+				idx := b.I()
+				b.IMulI(idx, sy, lcW)
+				b.IAdd(idx, idx, sx)
+				b.ShlI(idx, idx, 2)
+				ga := b.I()
+				b.IAdd(ga, idx, pgx)
+				b.LdF(gxv, isa.F32, isa.SpaceTex, ga, 0)
+				b.IAdd(ga, idx, pgy)
+				b.LdF(gyv, isa.F32, isa.SpaceTex, ga, 0)
+				ca := b.I()
+				b.IAdd(ca, a, pcos)
+				b.LdF(cv, isa.F32, isa.SpaceConst, ca, 0)
+				b.IAdd(ca, a, psin)
+				b.LdF(sv, isa.F32, isa.SpaceConst, ca, 0)
+				b.FMul(g, gxv, cv)
+				b.FMA(g, gyv, sv, g)
+				b.FAdd(sum, sum, g)
+				b.FMA(sum2, g, g, sum2)
+			}, nil)
+		})
+		mean, variance := b.F(), b.F()
+		b.FMulI(mean, sum, 1.0/lcSamples)
+		b.FMulI(variance, sum2, 1.0/lcSamples)
+		m2 := b.F()
+		b.FMul(m2, mean, mean)
+		b.FSub(variance, variance, m2)
+		floor := b.F()
+		b.MovF(floor, 1e-6)
+		b.FMax(variance, variance, floor)
+		res := b.F()
+		b.FDiv(res, m2, variance)
+		b.ShlI(a, gid, 2)
+		b.IAdd(a, a, pgicov)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, res)
+	}, nil)
+	return b.Build("lc_gicov")
+}
+
+// lcDilateKernel max-filters the GICOV matrix over a disk. v1 reads GICOV
+// from global memory with one thread per pixel; v2 reads the texture-bound
+// copy with persistent thread blocks striding over the image.
+func lcDilateKernel(v2 bool) *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pgicov, pdil, ptex := b.I(), b.I(), b.I()
+	b.LdParamI(pgicov, 2)
+	b.LdParamI(pdil, 3)
+	b.LdParamI(ptex, 8)
+
+	body := func(pix isa.IReg) {
+		x, y := b.I(), b.I()
+		b.IRemI(x, pix, lcW)
+		b.IDivI(y, pix, lcW)
+		best := b.F()
+		b.MovF(best, 0)
+		v := b.F()
+		a := b.I()
+		for dy := -lcDisk; dy <= lcDisk; dy++ {
+			for dx := -lcDisk; dx <= lcDisk; dx++ {
+				xx, yy := b.I(), b.I()
+				b.IAddI(xx, x, int64(dx))
+				b.IAddI(yy, y, int64(dy))
+				pIn, pt := b.P(), b.P()
+				b.SetpII(pIn, isa.CmpGE, xx, 0)
+				b.SetpII(pt, isa.CmpLT, xx, lcW)
+				b.PAnd(pIn, pIn, pt)
+				b.SetpII(pt, isa.CmpGE, yy, 0)
+				b.PAnd(pIn, pIn, pt)
+				b.SetpII(pt, isa.CmpLT, yy, lcH)
+				b.PAnd(pIn, pIn, pt)
+				b.If(pIn, func() {
+					b.IMulI(a, yy, lcW)
+					b.IAdd(a, a, xx)
+					b.ShlI(a, a, 2)
+					if v2 {
+						b.IAdd(a, a, ptex)
+						b.LdF(v, isa.F32, isa.SpaceTex, a, 0)
+					} else {
+						b.IAdd(a, a, pgicov)
+						b.LdF(v, isa.F32, isa.SpaceGlobal, a, 0)
+					}
+					b.FMax(best, best, v)
+				}, nil)
+			}
+		}
+		b.ShlI(a, pix, 2)
+		b.IAdd(a, a, pdil)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, best)
+	}
+
+	if v2 {
+		// Persistent blocks: stride gridDim*blockDim over all pixels.
+		pnpix := b.I()
+		b.LdParamI(pnpix, 9)
+		ntid, ncta, stride := b.I(), b.I(), b.I()
+		b.Rd(ntid, isa.SpecNTid)
+		b.Rd(ncta, isa.SpecNCta)
+		b.IMul(stride, ntid, ncta)
+		pix := b.I()
+		b.Mov(pix, gid)
+		p := b.P()
+		b.While(func() isa.PReg {
+			b.SetpI(p, isa.CmpLT, pix, pnpix)
+			return p
+		}, func() {
+			body(pix)
+			b.IAdd(pix, pix, stride)
+		})
+	} else {
+		inR := b.P()
+		b.SetpII(inR, isa.CmpLT, gid, int64(lcH*lcW))
+		b.If(inR, func() { body(gid) }, nil)
+	}
+	return b.Build(fmt.Sprintf("lc_dilate_v%d", map[bool]int{false: 1, true: 2}[v2]))
+}

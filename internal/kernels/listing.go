@@ -1,0 +1,59 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// KernelsOf builds the GPU kernels a benchmark launches, by abbreviation
+// (including the v1 variants). Used by cmd/disasm and the listing tests;
+// the kernels are freshly constructed, independent of any Instance.
+func KernelsOf(abbrev string) ([]*isa.Kernel, error) {
+	switch abbrev {
+	case "BP":
+		return []*isa.Kernel{bpLayerForwardKernel(), bpAdjustWeightsKernel()}, nil
+	case "BFS":
+		return []*isa.Kernel{bfsKernel1(), bfsKernel2()}, nil
+	case "CFD":
+		return []*isa.Kernel{cfdStepFactorKernel(), cfdFluxKernel(), cfdTimeStepKernel()}, nil
+	case "HW":
+		return []*isa.Kernel{hwKernel()}, nil
+	case "HS":
+		return []*isa.Kernel{hotspotKernel()}, nil
+	case "KM":
+		return []*isa.Kernel{kmeansKernel(kmFeatures, kmClusters)}, nil
+	case "LC":
+		return []*isa.Kernel{lcGICOVKernel(), lcDilateKernel(true)}, nil
+	case "LCv1":
+		return []*isa.Kernel{lcGICOVKernel(), lcDilateKernel(false)}, nil
+	case "LUD":
+		return []*isa.Kernel{ludDiagonalKernel(), ludPerimeterKernel(), ludInternalKernel()}, nil
+	case "LUDv1":
+		return []*isa.Kernel{ludScaleKernel(), ludRank1Kernel()}, nil
+	case "MUM":
+		return []*isa.Kernel{mummerKernel(mumQLen)}, nil
+	case "NW":
+		return []*isa.Kernel{nwKernel(true)}, nil
+	case "NWv1":
+		return []*isa.Kernel{nwKernel(false)}, nil
+	case "SRAD":
+		return []*isa.Kernel{sradKernel1(true), sradKernel2(true)}, nil
+	case "SRADv1":
+		return []*isa.Kernel{sradKernel1(false), sradKernel2(false)}, nil
+	case "SC":
+		return []*isa.Kernel{scGainKernel(scDim), scUpdateKernel(scDim)}, nil
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", abbrev)
+}
+
+// ListingAbbrevs returns every abbreviation KernelsOf accepts, sorted.
+func ListingAbbrevs() []string {
+	out := []string{
+		"BP", "BFS", "CFD", "HW", "HS", "KM", "LC", "LCv1", "LUD", "LUDv1",
+		"MUM", "NW", "NWv1", "SRAD", "SRADv1", "SC",
+	}
+	sort.Strings(out)
+	return out
+}

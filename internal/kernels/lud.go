@@ -1,0 +1,460 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// LU Decomposition follows Rodinia's blocked in-place Doolittle scheme:
+// per 16-wide step, a single-block diagonal factorization, a perimeter
+// kernel solving the row and column panels, and an internal kernel updating
+// the trailing submatrix. The serial outer loop and the shrinking grids are
+// the row/column dependencies that limit LUD's scaling in Figure 1 and its
+// insensitivity to extra memory channels in Figure 4.
+
+const (
+	ludN     = 256 // paper: 256x256 (Table I size)
+	ludBlock = 16
+)
+
+// LUD is the LU Decomposition benchmark (Dense Linear Algebra dwarf).
+var LUD = &Benchmark{
+	Name:      "LU Decomposition",
+	Abbrev:    "LUD",
+	Dwarf:     "Dense Linear Algebra",
+	Domain:    "Linear Algebra",
+	PaperSize: "256x256 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points", ludN, ludN),
+	New:       func() *Instance { return newLUD(ludN, true) },
+}
+
+// LUDv1 is the unoptimized incremental version (announced alongside Table
+// III): an unblocked right-looking factorization with one scale and one
+// rank-1-update launch per step, all in global memory.
+var LUDv1 = &Benchmark{
+	Name:      "LU Decomposition (version 1)",
+	Abbrev:    "LUDv1",
+	Dwarf:     "Dense Linear Algebra",
+	Domain:    "Linear Algebra",
+	PaperSize: "256x256 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points", ludN/2, ludN/2),
+	New:       func() *Instance { return newLUD(ludN/2, false) },
+}
+
+func newLUD(n int, blocked bool) *Instance {
+	mem := isa.NewMemory()
+	matrix := mem.AllocGlobal(n * n * 4)
+	r := newRNG(77)
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := r.float()
+			if i == j {
+				v += float64(n) // diagonal dominance for stability
+			}
+			orig[i*n+j] = v
+			mem.WriteF32(isa.SpaceGlobal, matrix+uint64((i*n+j)*4), float32(v))
+		}
+	}
+	mem.SetParamI(0, int64(matrix))
+	mem.SetParamI(1, int64(n))
+
+	kdiag := ludDiagonalKernel()
+	kperi := ludPerimeterKernel()
+	kint := ludInternalKernel()
+	kscale := ludScaleKernel()
+	krank1 := ludRank1Kernel()
+	nb := n / ludBlock
+
+	runNaive := func(ex isa.Executor, mem *isa.Memory) error {
+		for k := 0; k < n-1; k++ {
+			mem.SetParamI(2, int64(k))
+			rem := n - k - 1
+			if err := ex.Launch(kscale, isa.Launch{Grid: ceilDiv(rem, 128), Block: 128}, mem); err != nil {
+				return err
+			}
+			mem.SetParamI(3, int64(rem))
+			if err := ex.Launch(krank1, isa.Launch{Grid: ceilDiv(rem*rem, 256), Block: 256}, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		if !blocked {
+			return runNaive(ex, mem)
+		}
+		for step := 0; step < nb; step++ {
+			mem.SetParamI(2, int64(step*ludBlock))
+			if err := ex.Launch(kdiag, isa.Launch{Grid: 1, Block: ludBlock}, mem); err != nil {
+				return err
+			}
+			rem := nb - step - 1
+			if rem == 0 {
+				continue
+			}
+			if err := ex.Launch(kperi, isa.Launch{Grid: rem, Block: 2 * ludBlock}, mem); err != nil {
+				return err
+			}
+			mem.SetParamI(3, int64(rem))
+			if err := ex.Launch(kint, isa.Launch{Grid: rem * rem, Block: ludBlock * ludBlock}, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Reconstruct A from the packed LU factors and compare with the
+		// original matrix.
+		lu := make([]float64, n*n)
+		for i := range lu {
+			lu[i] = float64(mem.ReadF32(isa.SpaceGlobal, matrix+uint64(i*4)))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k <= i && k <= j; k++ {
+					l := lu[i*n+k]
+					if k == i {
+						l = 1
+					}
+					sum += l * lu[k*n+j]
+				}
+				if math.Abs(sum-orig[i*n+j]) > 1e-2*(1+math.Abs(orig[i*n+j])) {
+					return fmt.Errorf("LU reconstruction (%d,%d) = %g, want %g", i, j, sum, orig[i*n+j])
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// sharedTileLoad emits a 16x16 tile copy global(row0,col0) -> shared[shOff]
+// where each of the 16 threads identified by lane copies one column.
+func ludLoadTile(b *isa.Builder, lane, row0, col0, pn, pmat isa.IReg, shOff int64, toShared bool) {
+	addr, saddr, t := b.I(), b.I(), b.I()
+	v := b.F()
+	for row := 0; row < ludBlock; row++ {
+		b.IAddI(t, row0, int64(row))
+		b.IMul(addr, t, pn)
+		b.IAdd(addr, addr, col0)
+		b.IAdd(addr, addr, lane)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.IMulI(saddr, lane, 4)
+		if toShared {
+			b.LdF(v, isa.F32, isa.SpaceGlobal, addr, 0)
+			b.StF(isa.F32, isa.SpaceShared, saddr, shOff+int64(row*ludBlock*4), v)
+		} else {
+			b.LdF(v, isa.F32, isa.SpaceShared, saddr, shOff+int64(row*ludBlock*4))
+			b.StF(isa.F32, isa.SpaceGlobal, addr, 0, v)
+		}
+	}
+}
+
+// ludDiagonalKernel factorizes the diagonal tile in shared memory with one
+// block of 16 threads (thread tx owns row tx).
+func ludDiagonalKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	b.SetShared(ludBlock * ludBlock * 4)
+	tx := b.I()
+	b.Rd(tx, isa.SpecTid)
+	pmat, pn, poff := b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pn, 1)
+	b.LdParamI(poff, 2)
+
+	ludLoadTile(b, tx, poff, poff, pn, pmat, 0, true)
+	b.Bar()
+
+	pr := b.P()
+	l, piv, u := b.F(), b.F(), b.F()
+	sa, sb := b.I(), b.I()
+	for k := 0; k < ludBlock-1; k++ {
+		b.SetpII(pr, isa.CmpGT, tx, int64(k))
+		b.If(pr, func() {
+			// l = tile[tx][k] / tile[k][k]; tile[tx][k] = l
+			b.IMulI(sa, tx, ludBlock*4)
+			b.LdF(l, isa.F32, isa.SpaceShared, sa, int64(k*4))
+			zero := b.I()
+			b.MovI(zero, 0)
+			b.LdF(piv, isa.F32, isa.SpaceShared, zero, int64((k*ludBlock+k)*4))
+			b.FDiv(l, l, piv)
+			b.StF(isa.F32, isa.SpaceShared, sa, int64(k*4), l)
+			for j := k + 1; j < ludBlock; j++ {
+				b.MovI(sb, int64(k*ludBlock+j)*4)
+				b.LdF(u, isa.F32, isa.SpaceShared, sb, 0)
+				a := b.F()
+				b.LdF(a, isa.F32, isa.SpaceShared, sa, int64(j*4))
+				neg := b.F()
+				b.FNeg(neg, l)
+				b.FMA(a, neg, u, a)
+				b.StF(isa.F32, isa.SpaceShared, sa, int64(j*4), a)
+			}
+		}, nil)
+		b.Bar()
+	}
+
+	ludLoadTile(b, tx, poff, poff, pn, pmat, 0, false)
+	return b.Build("lud_diagonal")
+}
+
+// ludPerimeterKernel solves one row-panel tile (threads 0..15, one per
+// column: forward substitution with the diagonal L) and one column-panel
+// tile (threads 16..31, one per row: division by the diagonal U).
+func ludPerimeterKernel() *isa.Kernel {
+	const (
+		shDiag = 0
+		shRow  = ludBlock * ludBlock * 4
+		shCol  = 2 * ludBlock * ludBlock * 4
+	)
+	b := isa.NewBuilder()
+	b.SetShared(3 * ludBlock * ludBlock * 4)
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	pmat, pn, poff := b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pn, 1)
+	b.LdParamI(poff, 2)
+
+	lane := b.I()
+	b.IAndI(lane, tid, ludBlock-1)
+	isRow := b.P()
+	b.SetpII(isRow, isa.CmpLT, tid, ludBlock)
+
+	// Tile origin of this block's panel tiles.
+	tileOff := b.I()
+	b.IAddI(tileOff, cta, 1)
+	b.IMulI(tileOff, tileOff, ludBlock)
+	b.IAdd(tileOff, tileOff, poff)
+
+	// Cooperative loads: first half loads diag+row tiles, second half the
+	// column tile.
+	b.If(isRow, func() {
+		ludLoadTile(b, lane, poff, poff, pn, pmat, shDiag, true)
+		ludLoadTile(b, lane, poff, tileOff, pn, pmat, shRow, true)
+	}, func() {
+		ludLoadTile(b, lane, tileOff, poff, pn, pmat, shCol, true)
+	})
+	b.Bar()
+
+	sa, sb := b.I(), b.I()
+	acc, l, u := b.F(), b.F(), b.F()
+	b.If(isRow, func() {
+		// Column `lane` of the row panel: u[k][lane] -= sum_{m<k} l[k][m]*u[m][lane].
+		for k := 1; k < ludBlock; k++ {
+			b.IMulI(sa, lane, 4)
+			b.LdF(acc, isa.F32, isa.SpaceShared, sa, shRow+int64(k*ludBlock*4))
+			for m := 0; m < k; m++ {
+				b.MovI(sb, int64(shDiag)+int64((k*ludBlock+m)*4))
+				b.LdF(l, isa.F32, isa.SpaceShared, sb, 0)
+				b.LdF(u, isa.F32, isa.SpaceShared, sa, shRow+int64(m*ludBlock*4))
+				neg := b.F()
+				b.FNeg(neg, l)
+				b.FMA(acc, neg, u, acc)
+			}
+			b.StF(isa.F32, isa.SpaceShared, sa, shRow+int64(k*ludBlock*4), acc)
+		}
+	}, func() {
+		// Row `lane` of the column panel: l[lane][k] = (a - sum_{m<k}
+		// l[lane][m]*u[m][k]) / u[k][k].
+		b.IMulI(sa, lane, ludBlock*4)
+		for k := 0; k < ludBlock; k++ {
+			b.LdF(acc, isa.F32, isa.SpaceShared, sa, shCol+int64(k*4))
+			for m := 0; m < k; m++ {
+				b.LdF(l, isa.F32, isa.SpaceShared, sa, shCol+int64(m*4))
+				b.MovI(sb, int64(shDiag)+int64((m*ludBlock+k)*4))
+				b.LdF(u, isa.F32, isa.SpaceShared, sb, 0)
+				neg := b.F()
+				b.FNeg(neg, l)
+				b.FMA(acc, neg, u, acc)
+			}
+			b.MovI(sb, int64(shDiag)+int64((k*ludBlock+k)*4))
+			b.LdF(u, isa.F32, isa.SpaceShared, sb, 0)
+			b.FDiv(acc, acc, u)
+			b.StF(isa.F32, isa.SpaceShared, sa, shCol+int64(k*4), acc)
+		}
+	})
+	b.Bar()
+
+	b.If(isRow, func() {
+		ludLoadTile(b, lane, poff, tileOff, pn, pmat, shRow, false)
+	}, func() {
+		ludLoadTile(b, lane, tileOff, poff, pn, pmat, shCol, false)
+	})
+	return b.Build("lud_perimeter")
+}
+
+// ludInternalKernel updates one trailing tile: A -= L_panel * U_panel.
+func ludInternalKernel() *isa.Kernel {
+	const (
+		shL = 0
+		shU = ludBlock * ludBlock * 4
+	)
+	b := isa.NewBuilder()
+	b.SetShared(2 * ludBlock * ludBlock * 4)
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	pmat, pn, poff, prem := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pn, 1)
+	b.LdParamI(poff, 2)
+	b.LdParamI(prem, 3)
+
+	tx, ty := b.I(), b.I()
+	b.IAndI(tx, tid, ludBlock-1)
+	b.ShrI(ty, tid, 4)
+	bi, bj := b.I(), b.I()
+	b.IDiv(bi, cta, prem)
+	b.IRem(bj, cta, prem)
+
+	rowBase, colBase := b.I(), b.I()
+	b.IAddI(rowBase, bi, 1)
+	b.IMulI(rowBase, rowBase, ludBlock)
+	b.IAdd(rowBase, rowBase, poff)
+	b.IAddI(colBase, bj, 1)
+	b.IMulI(colBase, colBase, ludBlock)
+	b.IAdd(colBase, colBase, poff)
+
+	// Load L tile (rows rowBase.., cols poff..) and U tile (rows poff..,
+	// cols colBase..): thread (ty,tx) loads one element of each.
+	addr, saddr, t := b.I(), b.I(), b.I()
+	v := b.F()
+	b.IAdd(t, rowBase, ty)
+	b.IMul(addr, t, pn)
+	b.IAdd(addr, addr, poff)
+	b.IAdd(addr, addr, tx)
+	b.ShlI(addr, addr, 2)
+	b.IAdd(addr, addr, pmat)
+	b.LdF(v, isa.F32, isa.SpaceGlobal, addr, 0)
+	b.ShlI(saddr, ty, 4)
+	b.IAdd(saddr, saddr, tx)
+	b.ShlI(saddr, saddr, 2)
+	b.StF(isa.F32, isa.SpaceShared, saddr, shL, v)
+
+	b.IAdd(t, poff, ty)
+	b.IMul(addr, t, pn)
+	b.IAdd(addr, addr, colBase)
+	b.IAdd(addr, addr, tx)
+	b.ShlI(addr, addr, 2)
+	b.IAdd(addr, addr, pmat)
+	b.LdF(v, isa.F32, isa.SpaceGlobal, addr, 0)
+	b.StF(isa.F32, isa.SpaceShared, saddr, shU, v)
+	b.Bar()
+
+	// sum_k L[ty][k] * U[k][tx]
+	sum, l, u := b.F(), b.F(), b.F()
+	b.MovF(sum, 0)
+	la, ua := b.I(), b.I()
+	b.IMulI(la, ty, ludBlock*4)
+	b.IMulI(ua, tx, 4)
+	for k := 0; k < ludBlock; k++ {
+		b.LdF(l, isa.F32, isa.SpaceShared, la, shL+int64(k*4))
+		b.LdF(u, isa.F32, isa.SpaceShared, ua, shU+int64(k*ludBlock*4))
+		b.FMA(sum, l, u, sum)
+	}
+
+	b.IAdd(t, rowBase, ty)
+	b.IMul(addr, t, pn)
+	b.IAdd(addr, addr, colBase)
+	b.IAdd(addr, addr, tx)
+	b.ShlI(addr, addr, 2)
+	b.IAdd(addr, addr, pmat)
+	b.LdF(v, isa.F32, isa.SpaceGlobal, addr, 0)
+	b.FSub(v, v, sum)
+	b.StF(isa.F32, isa.SpaceGlobal, addr, 0, v)
+	return b.Build("lud_internal")
+}
+
+// ludScaleKernel (v1): column k below the pivot is divided by the pivot.
+func ludScaleKernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pmat, pn, pk := b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pn, 1)
+	b.LdParamI(pk, 2)
+	rem := b.I()
+	b.ISub(rem, pn, pk)
+	b.IAddI(rem, rem, -1)
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, rem)
+	b.If(inR, func() {
+		i, a, pa := b.I(), b.I(), b.I()
+		v, piv := b.F(), b.F()
+		b.IAdd(i, pk, gid)
+		b.IAddI(i, i, 1)
+		// piv = A[k][k]
+		b.IMul(pa, pk, pn)
+		b.IAdd(pa, pa, pk)
+		b.ShlI(pa, pa, 2)
+		b.IAdd(pa, pa, pmat)
+		b.LdF(piv, isa.F32, isa.SpaceGlobal, pa, 0)
+		// A[i][k] /= piv
+		b.IMul(a, i, pn)
+		b.IAdd(a, a, pk)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, pmat)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, a, 0)
+		b.FDiv(v, v, piv)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, v)
+	}, nil)
+	return b.Build("lud_scale_v1")
+}
+
+// ludRank1Kernel (v1): trailing update A[i][j] -= A[i][k]*A[k][j], one
+// thread per trailing element, everything from global memory.
+func ludRank1Kernel() *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pmat, pn, pk, prem := b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pn, 1)
+	b.LdParamI(pk, 2)
+	b.LdParamI(prem, 3)
+	total := b.I()
+	b.IMul(total, prem, prem)
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, total)
+	b.If(inR, func() {
+		i, j, a := b.I(), b.I(), b.I()
+		l, u, v := b.F(), b.F(), b.F()
+		b.IDiv(i, gid, prem)
+		b.IRem(j, gid, prem)
+		b.IAdd(i, i, pk)
+		b.IAddI(i, i, 1)
+		b.IAdd(j, j, pk)
+		b.IAddI(j, j, 1)
+		// l = A[i][k]
+		b.IMul(a, i, pn)
+		b.IAdd(a, a, pk)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, pmat)
+		b.LdF(l, isa.F32, isa.SpaceGlobal, a, 0)
+		// u = A[k][j]
+		b.IMul(a, pk, pn)
+		b.IAdd(a, a, j)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, pmat)
+		b.LdF(u, isa.F32, isa.SpaceGlobal, a, 0)
+		// A[i][j] -= l*u
+		b.IMul(a, i, pn)
+		b.IAdd(a, a, j)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, pmat)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, a, 0)
+		neg := b.F()
+		b.FNeg(neg, l)
+		b.FMA(v, neg, u, v)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, v)
+	}, nil)
+	return b.Build("lud_rank1_v1")
+}

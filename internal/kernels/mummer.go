@@ -1,0 +1,228 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// MUMmer aligns short queries against a reference sequence by walking a
+// suffix tree, as MUMmerGPU does: the tree is built on the host with
+// Ukkonen's algorithm, flattened into texture-memory tables, and each GPU
+// thread walks the tree for one query, recording per-position match
+// lengths. The walk's data-dependent trip counts produce the extreme warp
+// under-utilization (>60 % of warps with <5 active threads) and large
+// working set the paper attributes to MUMmer.
+
+const (
+	mumRefLen  = 16384 // reference length (scaled)
+	mumQueries = 8192  // paper: 50000 queries; scaled
+	mumQLen    = 25    // 25-character queries, as in Table I
+)
+
+// MUMmer is the MUMmerGPU benchmark (Graph Traversal dwarf).
+var MUMmer = &Benchmark{
+	Name:      "MUMmerGPU",
+	Abbrev:    "MUM",
+	Dwarf:     "Graph Traversal",
+	Domain:    "Bioinformatics",
+	PaperSize: "50000 25-character queries",
+	SimSize:   fmt.Sprintf("%d %d-character queries, %d-base reference", mumQueries, mumQLen, mumRefLen),
+	New:       func() *Instance { return newMUMmer(mumRefLen, mumQueries, mumQLen) },
+}
+
+func newMUMmer(refLen, nq, qlen int) *Instance {
+	r := newRNG(101)
+	ref := make([]byte, refLen)
+	for i := range ref {
+		ref[i] = byte(r.intn(4))
+	}
+	tree := buildSuffixTree(ref)
+	flat := tree.flatten()
+
+	queries := make([]byte, nq*qlen)
+	for q := 0; q < nq; q++ {
+		if q%5 < 3 {
+			// Reference-derived query with occasional mutations: long walks.
+			start := r.intn(refLen - qlen)
+			copy(queries[q*qlen:], ref[start:start+qlen])
+			for m := 0; m < r.intn(3); m++ {
+				queries[q*qlen+r.intn(qlen)] = byte(r.intn(4))
+			}
+		} else {
+			// Random query: short walks. The mix drives divergence.
+			for i := 0; i < qlen; i++ {
+				queries[q*qlen+i] = byte(r.intn(4))
+			}
+		}
+	}
+
+	mem := isa.NewMemory()
+	// Tree tables and the reference live in texture memory (MUMmerGPU
+	// encodes the tree in 2D textures).
+	refAddr := mem.AllocTex(refLen + 1)
+	childAddr := mem.AllocTex(len(flat.Children) * 4)
+	startAddr := mem.AllocTex(len(flat.EdgeStart) * 4)
+	lenAddr := mem.AllocTex(len(flat.EdgeLen) * 4)
+	qAddr := mem.AllocGlobal(nq * qlen)
+	outAddr := mem.AllocGlobal(nq * qlen * 4)
+
+	for i, c := range tree.S {
+		mem.WriteU8(isa.SpaceTex, refAddr+uint64(i), c)
+	}
+	for i, v := range flat.Children {
+		mem.WriteI32(isa.SpaceTex, childAddr+uint64(i*4), v)
+	}
+	for i, v := range flat.EdgeStart {
+		mem.WriteI32(isa.SpaceTex, startAddr+uint64(i*4), v)
+	}
+	for i, v := range flat.EdgeLen {
+		mem.WriteI32(isa.SpaceTex, lenAddr+uint64(i*4), v)
+	}
+	for i, c := range queries {
+		mem.WriteU8(isa.SpaceGlobal, qAddr+uint64(i), c)
+	}
+
+	mem.SetParamI(0, int64(refAddr))
+	mem.SetParamI(1, int64(childAddr))
+	mem.SetParamI(2, int64(startAddr))
+	mem.SetParamI(3, int64(lenAddr))
+	mem.SetParamI(4, int64(qAddr))
+	mem.SetParamI(5, int64(outAddr))
+	mem.SetParamI(6, int64(nq))
+
+	k := mummerKernel(qlen)
+	launch := isa.Launch{Grid: ceilDiv(nq, 256), Block: 256}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		return ex.Launch(k, launch, mem)
+	}
+
+	check := func(mem *isa.Memory) error {
+		for q := 0; q < nq; q++ {
+			for i := 0; i < qlen; i++ {
+				want := int32(tree.matchFrom(queries[q*qlen+i : (q+1)*qlen]))
+				got := mem.ReadI32(isa.SpaceGlobal, outAddr+uint64((q*qlen+i)*4))
+				if got != want {
+					return fmt.Errorf("match(q=%d, pos=%d) = %d, want %d", q, i, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+func mummerKernel(qlen int) *isa.Kernel {
+	b := isa.NewBuilder()
+	gid := globalThreadID(b)
+	pref, pchild, pstart, plen, pq, pout, pnq := b.I(), b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pref, 0)
+	b.LdParamI(pchild, 1)
+	b.LdParamI(pstart, 2)
+	b.LdParamI(plen, 3)
+	b.LdParamI(pq, 4)
+	b.LdParamI(pout, 5)
+	b.LdParamI(pnq, 6)
+
+	inR := b.P()
+	b.SetpI(inR, isa.CmpLT, gid, pnq)
+	b.If(inR, func() {
+		qbase := b.I()
+		b.IMulI(qbase, gid, int64(qlen))
+		b.IAdd(qbase, qbase, pq)
+
+		i := b.I()
+		node, j, matched, alive := b.I(), b.I(), b.I(), b.I()
+		child, k, el, l := b.I(), b.I(), b.I(), b.I()
+		c, rc, a := b.I(), b.I(), b.I()
+		pAlive, pt := b.P(), b.P()
+
+		b.ForI(i, 0, int64(qlen), 1, func() {
+			b.MovI(node, 0)
+			b.Mov(j, i)
+			b.MovI(matched, 0)
+			b.MovI(alive, 1)
+
+			b.While(func() isa.PReg {
+				b.SetpII(pAlive, isa.CmpEQ, alive, 1)
+				return pAlive
+			}, func() {
+				// End of query?
+				pEnd := b.P()
+				b.SetpII(pEnd, isa.CmpGE, j, int64(qlen))
+				b.If(pEnd, func() {
+					b.MovI(alive, 0)
+				}, func() {
+					// c = query[j]; child = children[node*4+c]
+					b.IAdd(a, qbase, j)
+					b.Ld(c, isa.U8, isa.SpaceGlobal, a, 0)
+					b.ShlI(a, node, 2)
+					b.IAdd(a, a, c)
+					b.ShlI(a, a, 2)
+					b.IAdd(a, a, pchild)
+					b.Ld(child, isa.I32, isa.SpaceTex, a, 0)
+					pNo := b.P()
+					b.SetpII(pNo, isa.CmpLT, child, 0)
+					b.If(pNo, func() {
+						b.MovI(alive, 0)
+					}, func() {
+						// Edge span.
+						b.ShlI(a, child, 2)
+						b.IAdd(a, a, pstart)
+						b.Ld(k, isa.I32, isa.SpaceTex, a, 0)
+						b.ShlI(a, child, 2)
+						b.IAdd(a, a, plen)
+						b.Ld(el, isa.I32, isa.SpaceTex, a, 0)
+						b.MovI(l, 0)
+						// Walk the edge while characters match.
+						pIn := b.P()
+						b.While(func() isa.PReg {
+							b.SetpII(pIn, isa.CmpEQ, alive, 1)
+							b.SetpI(pt, isa.CmpLT, l, el)
+							b.PAnd(pIn, pIn, pt)
+							b.SetpII(pt, isa.CmpLT, j, int64(qlen))
+							b.PAnd(pIn, pIn, pt)
+							return pIn
+						}, func() {
+							b.IAdd(a, k, l)
+							b.IAdd(a, a, pref)
+							b.Ld(rc, isa.U8, isa.SpaceTex, a, 0)
+							qc := b.I()
+							b.IAdd(a, qbase, j)
+							b.Ld(qc, isa.U8, isa.SpaceGlobal, a, 0)
+							pMis := b.P()
+							b.SetpI(pMis, isa.CmpNE, rc, qc)
+							b.If(pMis, func() {
+								b.MovI(alive, 0)
+							}, func() {
+								b.IAddI(l, l, 1)
+								b.IAddI(j, j, 1)
+								b.IAddI(matched, matched, 1)
+							})
+						})
+						// Full edge consumed and still alive: descend.
+						pFull := b.P()
+						b.SetpII(pFull, isa.CmpEQ, alive, 1)
+						b.SetpI(pt, isa.CmpGE, l, el)
+						b.PAnd(pFull, pFull, pt)
+						b.If(pFull, func() {
+							b.Mov(node, child)
+						}, func() {
+							b.MovI(alive, 0)
+						})
+					})
+				})
+			})
+
+			// out[gid*qlen + i] = matched
+			b.IMulI(a, gid, int64(qlen))
+			b.IAdd(a, a, i)
+			b.ShlI(a, a, 2)
+			b.IAdd(a, a, pout)
+			b.St(isa.I32, isa.SpaceGlobal, a, 0, matched)
+		})
+	}, nil)
+	return b.Build("mummergpu_match")
+}

@@ -1,0 +1,374 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Needleman-Wunsch fills the dynamic-programming alignment matrix in 16x16
+// blocks processed along anti-diagonals, as in Rodinia: one launch per
+// block diagonal (so early launches expose very little parallelism), 16
+// threads per block sweeping the tile diagonally in shared memory with a
+// barrier per step. The 16-wide shared tile produces copious bank
+// conflicts, which the paper calls out in the PB sensitivity study.
+
+const (
+	nwN       = 1024 // paper: 2048x2048; scaled for simulation
+	nwBlock   = 16
+	nwPenalty = 10
+)
+
+// NW is the Needleman-Wunsch benchmark (Dynamic Programming dwarf).
+var NW = &Benchmark{
+	Name:      "Needleman-Wunsch",
+	Abbrev:    "NW",
+	Dwarf:     "Dynamic Programming",
+	Domain:    "Bioinformatics",
+	PaperSize: "2048x2048 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points", nwN, nwN),
+	New:       func() *Instance { return newNW(nwN, true) },
+}
+
+// NWv1 is the unoptimized incremental version (announced alongside Table
+// III): the same block wavefront, but every cell works straight out of
+// global memory instead of a shared tile.
+var NWv1 = &Benchmark{
+	Name:      "Needleman-Wunsch (version 1)",
+	Abbrev:    "NWv1",
+	Dwarf:     "Dynamic Programming",
+	Domain:    "Bioinformatics",
+	PaperSize: "2048x2048 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points", nwN, nwN),
+	New:       func() *Instance { return newNW(nwN, false) },
+}
+
+func newNW(n int, shared bool) *Instance {
+	cols := n + 1
+	mem := isa.NewMemory()
+	matrix := mem.AllocGlobal(cols * cols * 4)
+	ref := mem.AllocGlobal(n * n * 4)
+
+	r := newRNG(31)
+	refv := make([]int32, n*n)
+	for i := range refv {
+		refv[i] = int32(r.intn(21) - 10) // substitution scores in [-10, 10]
+		mem.WriteI32(isa.SpaceGlobal, ref+uint64(i*4), refv[i])
+	}
+	for i := 0; i < cols; i++ {
+		mem.WriteI32(isa.SpaceGlobal, matrix+uint64(i*4), int32(-i*nwPenalty))
+		mem.WriteI32(isa.SpaceGlobal, matrix+uint64(i*cols*4), int32(-i*nwPenalty))
+	}
+	mem.SetParamI(0, int64(matrix))
+	mem.SetParamI(1, int64(ref))
+	mem.SetParamI(2, int64(cols))
+	mem.SetParamI(3, int64(n))
+
+	k := nwKernel(shared)
+	nb := n / nwBlock
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		// Upper-left triangle of block diagonals.
+		for i := 1; i <= nb; i++ {
+			mem.SetParamI(4, 0)          // xOffset
+			mem.SetParamI(5, int64(i-1)) // yBase
+			if err := ex.Launch(k, isa.Launch{Grid: i, Block: nwBlock}, mem); err != nil {
+				return err
+			}
+		}
+		// Lower-right triangle.
+		for i := nb - 1; i >= 1; i-- {
+			mem.SetParamI(4, int64(nb-i))
+			mem.SetParamI(5, int64(nb-1))
+			if err := ex.Launch(k, isa.Launch{Grid: i, Block: nwBlock}, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// CPU reference DP (int32, exact).
+		dp := make([]int32, cols*cols)
+		for i := 0; i < cols; i++ {
+			dp[i] = int32(-i * nwPenalty)
+			dp[i*cols] = int32(-i * nwPenalty)
+		}
+		for y := 1; y < cols; y++ {
+			for x := 1; x < cols; x++ {
+				diag := dp[(y-1)*cols+x-1] + refv[(y-1)*n+x-1]
+				left := dp[y*cols+x-1] - nwPenalty
+				up := dp[(y-1)*cols+x] - nwPenalty
+				m := diag
+				if left > m {
+					m = left
+				}
+				if up > m {
+					m = up
+				}
+				dp[y*cols+x] = m
+			}
+		}
+		for y := 0; y < cols; y += 7 {
+			for x := 0; x < cols; x += 7 {
+				got := mem.ReadI32(isa.SpaceGlobal, matrix+uint64((y*cols+x)*4))
+				if got != dp[y*cols+x] {
+					return fmt.Errorf("matrix[%d][%d] = %d, want %d", y, x, got, dp[y*cols+x])
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+func nwKernel(shared bool) *isa.Kernel {
+	if !shared {
+		return nwKernelNoShared()
+	}
+	const (
+		shTemp = 0           // i32[17][17]
+		shRef  = 17 * 17 * 4 // i32[16][16]
+		tempW  = 17
+	)
+	b := isa.NewBuilder()
+	b.SetShared(shRef + nwBlock*nwBlock*4)
+
+	tx, bx := b.I(), b.I()
+	b.Rd(tx, isa.SpecTid)
+	b.Rd(bx, isa.SpecCta)
+	pmat, pref, pcols, pn, pxo, pyb := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pref, 1)
+	b.LdParamI(pcols, 2)
+	b.LdParamI(pn, 3)
+	b.LdParamI(pxo, 4)
+	b.LdParamI(pyb, 5)
+
+	bX, bY := b.I(), b.I()
+	b.IAdd(bX, bx, pxo)
+	b.ISub(bY, pyb, bx)
+
+	// Matrix address of the tile's NW corner cell (row bY*16, col bX*16).
+	base := b.I()
+	t1 := b.I()
+	b.ShlI(t1, bY, 4)
+	b.IMul(base, t1, pcols)
+	b.ShlI(t1, bX, 4)
+	b.IAdd(base, base, t1)
+
+	// Scratch registers reused across the unrolled loops.
+	addr, saddr, v := b.I(), b.I(), b.I()
+	v2, v3 := b.I(), b.I()
+
+	// temp[tx+1][0] = matrix[base + cols*(tx+1)]
+	b.IAddI(t1, tx, 1)
+	b.IMul(addr, t1, pcols)
+	b.IAdd(addr, addr, base)
+	b.ShlI(addr, addr, 2)
+	b.IAdd(addr, addr, pmat)
+	b.Ld(v, isa.I32, isa.SpaceGlobal, addr, 0)
+	b.IMulI(saddr, t1, tempW*4)
+	b.St(isa.I32, isa.SpaceShared, saddr, shTemp, v)
+
+	// temp[0][tx+1] = matrix[base + tx+1]
+	b.IAdd(addr, base, t1)
+	b.ShlI(addr, addr, 2)
+	b.IAdd(addr, addr, pmat)
+	b.Ld(v, isa.I32, isa.SpaceGlobal, addr, 0)
+	b.ShlI(saddr, t1, 2)
+	b.St(isa.I32, isa.SpaceShared, saddr, shTemp, v)
+
+	// temp[0][0] = matrix[base] (one lane)
+	p0 := b.P()
+	b.SetpII(p0, isa.CmpEQ, tx, 0)
+	b.If(p0, func() {
+		b.ShlI(addr, base, 2)
+		b.IAdd(addr, addr, pmat)
+		b.Ld(v, isa.I32, isa.SpaceGlobal, addr, 0)
+		zero := b.I()
+		b.MovI(zero, 0)
+		b.St(isa.I32, isa.SpaceShared, zero, shTemp, v)
+	}, nil)
+
+	// ref_s[ty][tx] = ref[(bY*16+ty)*n + bX*16+tx]
+	refRow, refCol := b.I(), b.I()
+	b.ShlI(refRow, bY, 4)
+	b.ShlI(refCol, bX, 4)
+	b.IAdd(refCol, refCol, tx)
+	for ty := 0; ty < nwBlock; ty++ {
+		b.IAddI(t1, refRow, int64(ty))
+		b.IMul(addr, t1, pn)
+		b.IAdd(addr, addr, refCol)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pref)
+		b.Ld(v, isa.I32, isa.SpaceGlobal, addr, 0)
+		b.IMulI(saddr, tx, 4)
+		b.St(isa.I32, isa.SpaceShared, saddr, shRef+int64(ty*nwBlock*4), v)
+	}
+	b.Bar()
+
+	// computeCell updates temp[y][x] given registers holding x and y.
+	xr, yr := b.I(), b.I()
+	computeCell := func() {
+		// saddr = (y*17 + x) * 4
+		b.IMulI(saddr, yr, tempW)
+		b.IAdd(saddr, saddr, xr)
+		b.ShlI(saddr, saddr, 2)
+		// diag = temp[y-1][x-1] + ref_s[y-1][x-1]
+		b.Ld(v, isa.I32, isa.SpaceShared, saddr, shTemp-(tempW+1)*4)
+		b.IAddI(t1, yr, -1)
+		b.IMulI(t1, t1, nwBlock)
+		b.IAdd(t1, t1, xr)
+		b.IAddI(t1, t1, -1)
+		b.ShlI(t1, t1, 2)
+		b.Ld(v2, isa.I32, isa.SpaceShared, t1, shRef)
+		b.IAdd(v, v, v2)
+		// left = temp[y][x-1] - penalty; up = temp[y-1][x] - penalty
+		b.Ld(v2, isa.I32, isa.SpaceShared, saddr, shTemp-4)
+		b.IAddI(v2, v2, -nwPenalty)
+		b.Ld(v3, isa.I32, isa.SpaceShared, saddr, shTemp-tempW*4)
+		b.IAddI(v3, v3, -nwPenalty)
+		b.IMax(v, v, v2)
+		b.IMax(v, v, v3)
+		b.St(isa.I32, isa.SpaceShared, saddr, shTemp, v)
+	}
+
+	pm := b.P()
+	// First half of the tile wavefront: m = 0..15, x = tx+1, y = m-tx+1.
+	for m := 0; m < nwBlock; m++ {
+		b.SetpII(pm, isa.CmpLE, tx, int64(m))
+		b.If(pm, func() {
+			b.IAddI(xr, tx, 1)
+			b.MovI(yr, int64(m+1))
+			b.ISub(yr, yr, tx)
+			computeCell()
+		}, nil)
+		b.Bar()
+	}
+	// Second half: m = 14..0, x = tx+16-m, y = 16-tx.
+	for m := nwBlock - 2; m >= 0; m-- {
+		b.SetpII(pm, isa.CmpLE, tx, int64(m))
+		b.If(pm, func() {
+			b.IAddI(xr, tx, int64(nwBlock-m))
+			b.MovI(yr, nwBlock)
+			b.ISub(yr, yr, tx)
+			computeCell()
+		}, nil)
+		b.Bar()
+	}
+
+	// Write the tile back: matrix[base + cols*(ty+1) + tx+1] = temp[ty+1][tx+1].
+	for ty := 0; ty < nwBlock; ty++ {
+		b.IMulI(saddr, tx, 4)
+		b.Ld(v, isa.I32, isa.SpaceShared, saddr, shTemp+int64(((ty+1)*tempW+1)*4))
+		b.MovI(t1, int64(ty+1))
+		b.IMul(addr, t1, pcols)
+		b.IAdd(addr, addr, base)
+		b.IAdd(addr, addr, tx)
+		b.IAddI(addr, addr, 1)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.St(isa.I32, isa.SpaceGlobal, addr, 0, v)
+	}
+	return b.Build("needle_cuda_shared")
+}
+
+// nwKernelNoShared is the v1 kernel: the identical tile wavefront, but all
+// operands come from (and go to) global memory.
+func nwKernelNoShared() *isa.Kernel {
+	b := isa.NewBuilder()
+	tx, bx := b.I(), b.I()
+	b.Rd(tx, isa.SpecTid)
+	b.Rd(bx, isa.SpecCta)
+	pmat, pref, pcols, pn, pxo, pyb := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pmat, 0)
+	b.LdParamI(pref, 1)
+	b.LdParamI(pcols, 2)
+	b.LdParamI(pn, 3)
+	b.LdParamI(pxo, 4)
+	b.LdParamI(pyb, 5)
+
+	bX, bY := b.I(), b.I()
+	b.IAdd(bX, bx, pxo)
+	b.ISub(bY, pyb, bx)
+
+	// Global row/column of the tile's first interior cell minus one.
+	row0, col0 := b.I(), b.I()
+	b.ShlI(row0, bY, 4)
+	b.ShlI(col0, bX, 4)
+
+	addr, t1, v, v2, v3 := b.I(), b.I(), b.I(), b.I(), b.I()
+	xr, yr := b.I(), b.I()
+
+	// computeCell updates matrix[row0+yr][col0+xr] from global memory.
+	computeCell := func() {
+		gy, gx := b.I(), b.I()
+		b.IAdd(gy, row0, yr)
+		b.IAdd(gx, col0, xr)
+		// diag
+		b.IAddI(t1, gy, -1)
+		b.IMul(addr, t1, pcols)
+		b.IAdd(addr, addr, gx)
+		b.IAddI(addr, addr, -1)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.Ld(v, isa.I32, isa.SpaceGlobal, addr, 0)
+		// ref[gy-1][gx-1]
+		b.IAddI(t1, gy, -1)
+		b.IMul(addr, t1, pn)
+		b.IAdd(addr, addr, gx)
+		b.IAddI(addr, addr, -1)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pref)
+		b.Ld(v2, isa.I32, isa.SpaceGlobal, addr, 0)
+		b.IAdd(v, v, v2)
+		// left
+		b.IMul(addr, gy, pcols)
+		b.IAdd(addr, addr, gx)
+		b.IAddI(addr, addr, -1)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.Ld(v2, isa.I32, isa.SpaceGlobal, addr, 0)
+		b.IAddI(v2, v2, -nwPenalty)
+		// up
+		b.IAddI(t1, gy, -1)
+		b.IMul(addr, t1, pcols)
+		b.IAdd(addr, addr, gx)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.Ld(v3, isa.I32, isa.SpaceGlobal, addr, 0)
+		b.IAddI(v3, v3, -nwPenalty)
+		b.IMax(v, v, v2)
+		b.IMax(v, v, v3)
+		b.IMul(addr, gy, pcols)
+		b.IAdd(addr, addr, gx)
+		b.ShlI(addr, addr, 2)
+		b.IAdd(addr, addr, pmat)
+		b.St(isa.I32, isa.SpaceGlobal, addr, 0, v)
+	}
+
+	pm := b.P()
+	for m := 0; m < nwBlock; m++ {
+		b.SetpII(pm, isa.CmpLE, tx, int64(m))
+		b.If(pm, func() {
+			b.IAddI(xr, tx, 1)
+			b.MovI(yr, int64(m+1))
+			b.ISub(yr, yr, tx)
+			computeCell()
+		}, nil)
+		b.Bar()
+	}
+	for m := nwBlock - 2; m >= 0; m-- {
+		b.SetpII(pm, isa.CmpLE, tx, int64(m))
+		b.If(pm, func() {
+			b.IAddI(xr, tx, int64(nwBlock-m))
+			b.MovI(yr, nwBlock)
+			b.ISub(yr, yr, tx)
+			computeCell()
+		}, nil)
+		b.Bar()
+	}
+	return b.Build("needle_cuda_noshared")
+}

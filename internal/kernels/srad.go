@@ -1,0 +1,499 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// SRAD (Speckle Reducing Anisotropic Diffusion) despeckles an ultrasound
+// image with two kernels per iteration: srad1 computes directional
+// derivatives and the diffusion coefficient; srad2 applies the divergence
+// update. Two incremental versions are provided, matching Table III:
+//
+//   - v1 reads every operand from global memory;
+//   - v2 stages the image (srad1) and coefficient (srad2) tiles in shared
+//     memory, raising the shared-memory instruction fraction and IPC.
+
+const (
+	sradN      = 256 // paper: 512x512; scaled for simulation
+	sradIters  = 2
+	sradLambda = 0.5
+	sradBlock  = 16
+)
+
+// SRAD is the default (optimized, v2) SRAD benchmark (Structured Grid).
+var SRAD = &Benchmark{
+	Name:      "SRAD",
+	Abbrev:    "SRAD",
+	Dwarf:     "Structured Grid",
+	Domain:    "Image Processing",
+	PaperSize: "512x512 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", sradN, sradN, sradIters),
+	New:       func() *Instance { return newSRAD(sradN, sradIters, true) },
+}
+
+// SRADv1 is the unoptimized incremental version of SRAD (Table III).
+var SRADv1 = &Benchmark{
+	Name:      "SRAD (version 1)",
+	Abbrev:    "SRADv1",
+	Dwarf:     "Structured Grid",
+	Domain:    "Image Processing",
+	PaperSize: "512x512 data points",
+	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", sradN, sradN, sradIters),
+	New:       func() *Instance { return newSRAD(sradN, sradIters, false) },
+}
+
+func newSRAD(n, iters int, shared bool) *Instance {
+	mem := isa.NewMemory()
+	img := mem.AllocGlobal(n * n * 4)
+	dN := mem.AllocGlobal(n * n * 4)
+	dS := mem.AllocGlobal(n * n * 4)
+	dW := mem.AllocGlobal(n * n * 4)
+	dE := mem.AllocGlobal(n * n * 4)
+	cf := mem.AllocGlobal(n * n * 4)
+
+	r := newRNG(23)
+	init := make([]float64, n*n)
+	for i := range init {
+		init[i] = math.Exp(r.float()) // Rodinia exponentiates the input
+		mem.WriteF32(isa.SpaceGlobal, img+uint64(i*4), float32(init[i]))
+	}
+	mem.SetParamI(0, int64(img))
+	mem.SetParamI(1, int64(dN))
+	mem.SetParamI(2, int64(dS))
+	mem.SetParamI(3, int64(dW))
+	mem.SetParamI(4, int64(dE))
+	mem.SetParamI(5, int64(cf))
+	mem.SetParamI(6, int64(n))
+
+	k1 := sradKernel1(shared)
+	k2 := sradKernel2(shared)
+	nb := n / sradBlock
+	mem.SetParamI(8, int64(nb))
+	launch := isa.Launch{Grid: nb * nb, Block: sradBlock * sradBlock}
+
+	q0 := func(readImg func(i int) float64) float64 {
+		// ROI statistics over the whole image, as configured in Rodinia.
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < n*n; i++ {
+			v := readImg(i)
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / float64(n*n)
+		variance := sum2/float64(n*n) - mean*mean
+		return variance / (mean * mean)
+	}
+
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		for it := 0; it < iters; it++ {
+			q0sqr := q0(func(i int) float64 {
+				return float64(mem.ReadF32(isa.SpaceGlobal, img+uint64(i*4)))
+			})
+			mem.SetParamF(7, q0sqr)
+			if err := ex.Launch(k1, launch, mem); err != nil {
+				return err
+			}
+			if err := ex.Launch(k2, launch, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Full CPU reference of the same algorithm.
+		J := append([]float64(nil), init...)
+		cN := make([]float64, n*n)
+		rdN := make([]float64, n*n)
+		rdS := make([]float64, n*n)
+		rdW := make([]float64, n*n)
+		rdE := make([]float64, n*n)
+		clampI := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		for it := 0; it < iters; it++ {
+			q0sqr := q0(func(i int) float64 { return J[i] })
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					k := i*n + j
+					jc := J[k]
+					rdN[k] = J[clampI(i-1, 0, n-1)*n+j] - jc
+					rdS[k] = J[clampI(i+1, 0, n-1)*n+j] - jc
+					rdW[k] = J[i*n+clampI(j-1, 0, n-1)] - jc
+					rdE[k] = J[i*n+clampI(j+1, 0, n-1)] - jc
+					g2 := (rdN[k]*rdN[k] + rdS[k]*rdS[k] + rdW[k]*rdW[k] + rdE[k]*rdE[k]) / (jc * jc)
+					l := (rdN[k] + rdS[k] + rdW[k] + rdE[k]) / jc
+					num := 0.5*g2 - (1.0/16.0)*l*l
+					den := 1 + 0.25*l
+					qsqr := num / (den * den)
+					den = (qsqr - q0sqr) / (q0sqr * (1 + q0sqr))
+					c := 1 / (1 + den)
+					if c < 0 {
+						c = 0
+					} else if c > 1 {
+						c = 1
+					}
+					cN[k] = c
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					k := i*n + j
+					d := cN[k]*rdN[k] + cN[clampI(i+1, 0, n-1)*n+j]*rdS[k] +
+						cN[k]*rdW[k] + cN[i*n+clampI(j+1, 0, n-1)]*rdE[k]
+					J[k] += 0.25 * sradLambda * d
+				}
+			}
+		}
+		for _, i := range sampleIndices(n*n, 400) {
+			got := float64(mem.ReadF32(isa.SpaceGlobal, img+uint64(i*4)))
+			if math.Abs(got-J[i]) > 1e-2*(1+math.Abs(J[i])) {
+				return fmt.Errorf("J[%d] = %g, want %g", i, got, J[i])
+			}
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// sradCoords emits the block-decomposed 2D coordinates and the flattened
+// element index, shared by both kernels.
+func sradCoords(b *isa.Builder) (tx, ty, gx, gy, k isa.IReg, pn isa.IReg) {
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	tx, ty = b.I(), b.I()
+	b.IAndI(tx, tid, sradBlock-1)
+	b.ShrI(ty, tid, 4)
+	pn = b.I()
+	b.LdParamI(pn, 6)
+	pnb := b.I()
+	b.LdParamI(pnb, 8)
+	bx, by := b.I(), b.I()
+	b.IRem(bx, cta, pnb)
+	b.IDiv(by, cta, pnb)
+	gx, gy = b.I(), b.I()
+	b.IMulI(gx, bx, sradBlock)
+	b.IAdd(gx, gx, tx)
+	b.IMulI(gy, by, sradBlock)
+	b.IAdd(gy, gy, ty)
+	k = b.I()
+	b.IMul(k, gy, pn)
+	b.IAdd(k, k, gx)
+	return
+}
+
+// sradKernel1 computes derivatives and the diffusion coefficient. With
+// shared staging, the block's image tile is loaded once into shared memory
+// and in-tile neighbors come from shared.
+func sradKernel1(shared bool) *isa.Kernel {
+	const tileBytes = sradBlock * sradBlock * 4
+	b := isa.NewBuilder()
+	if shared {
+		// v2 stages the image tile plus the five result tiles (dN, dS,
+		// dW, dE, c) in shared memory, writing them out coalesced at the
+		// end — the optimization Table III credits for the IPC jump.
+		b.SetShared(6 * tileBytes)
+	}
+	tx, ty, gx, gy, k, pn := sradCoords(b)
+	pimg, pdN, pdS, pdW, pdE, pc := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pimg, 0)
+	b.LdParamI(pdN, 1)
+	b.LdParamI(pdS, 2)
+	b.LdParamI(pdW, 3)
+	b.LdParamI(pdE, 4)
+	b.LdParamI(pc, 5)
+	q0 := b.F()
+	b.LdParamF(q0, 7)
+
+	nm1 := b.I()
+	b.ISubI(nm1, pn, 1)
+
+	kaddr := b.I()
+	b.ShlI(kaddr, k, 2)
+	b.IAdd(kaddr, kaddr, pimg)
+	jc := b.F()
+	b.LdF(jc, isa.F32, isa.SpaceGlobal, kaddr, 0)
+
+	var saddr isa.IReg
+	if shared {
+		saddr = b.I()
+		b.ShlI(saddr, ty, 4)
+		b.IAdd(saddr, saddr, tx)
+		b.ShlI(saddr, saddr, 2)
+		b.StF(isa.F32, isa.SpaceShared, saddr, 0, jc)
+		b.Bar()
+	}
+
+	// loadNeighbor reads J at clamped (yy, xx); with shared staging the
+	// value comes from the tile when the neighbor lies within the block.
+	loadNeighbor := func(dst isa.FReg, dy, dx int64) {
+		yy, xx := b.I(), b.I()
+		b.IAddI(yy, gy, dy)
+		b.IMaxI(yy, yy, 0)
+		b.IMin(yy, yy, nm1)
+		b.IAddI(xx, gx, dx)
+		b.IMaxI(xx, xx, 0)
+		b.IMin(xx, xx, nm1)
+		if shared {
+			// In-tile if the unclamped thread coordinate stays inside.
+			tyy, txx := b.I(), b.I()
+			b.IAddI(tyy, ty, dy)
+			b.IAddI(txx, tx, dx)
+			inT := b.P()
+			pt := b.P()
+			b.SetpII(inT, isa.CmpGE, tyy, 0)
+			b.SetpII(pt, isa.CmpLT, tyy, sradBlock)
+			b.PAnd(inT, inT, pt)
+			b.SetpII(pt, isa.CmpGE, txx, 0)
+			b.PAnd(inT, inT, pt)
+			b.SetpII(pt, isa.CmpLT, txx, sradBlock)
+			b.PAnd(inT, inT, pt)
+			// Use shared memory only when the clamp did not move the
+			// index; a clamped (border) neighbor falls back to global.
+			uy, ux := b.I(), b.I()
+			b.IAddI(uy, gy, dy)
+			b.IAddI(ux, gx, dx)
+			unclamped := b.P()
+			b.SetpI(pt, isa.CmpEQ, uy, yy)
+			b.SetpI(unclamped, isa.CmpEQ, ux, xx)
+			b.PAnd(unclamped, unclamped, pt)
+			b.PAnd(inT, inT, unclamped)
+			b.If(inT, func() {
+				sa := b.I()
+				b.ShlI(sa, tyy, 4)
+				b.IAdd(sa, sa, txx)
+				b.ShlI(sa, sa, 2)
+				b.LdF(dst, isa.F32, isa.SpaceShared, sa, 0)
+			}, func() {
+				ga := b.I()
+				b.IMul(ga, yy, pn)
+				b.IAdd(ga, ga, xx)
+				b.ShlI(ga, ga, 2)
+				b.IAdd(ga, ga, pimg)
+				b.LdF(dst, isa.F32, isa.SpaceGlobal, ga, 0)
+			})
+			return
+		}
+		ga := b.I()
+		b.IMul(ga, yy, pn)
+		b.IAdd(ga, ga, xx)
+		b.ShlI(ga, ga, 2)
+		b.IAdd(ga, ga, pimg)
+		b.LdF(dst, isa.F32, isa.SpaceGlobal, ga, 0)
+	}
+
+	vn, vs, vw, ve := b.F(), b.F(), b.F(), b.F()
+	loadNeighbor(vn, -1, 0)
+	loadNeighbor(vs, 1, 0)
+	loadNeighbor(vw, 0, -1)
+	loadNeighbor(ve, 0, 1)
+	b.FSub(vn, vn, jc)
+	b.FSub(vs, vs, jc)
+	b.FSub(vw, vw, jc)
+	b.FSub(ve, ve, jc)
+
+	// store places a result either straight into global memory (v1) or
+	// into the block's shared result tile for a coalesced write-out (v2).
+	store := func(slot int, base isa.IReg, v isa.FReg) {
+		if shared {
+			b.StF(isa.F32, isa.SpaceShared, saddr, int64((slot+1)*tileBytes), v)
+			return
+		}
+		a := b.I()
+		b.ShlI(a, k, 2)
+		b.IAdd(a, a, base)
+		b.StF(isa.F32, isa.SpaceGlobal, a, 0, v)
+	}
+	store(0, pdN, vn)
+	store(1, pdS, vs)
+	store(2, pdW, vw)
+	store(3, pdE, ve)
+
+	// g2 = (dN²+dS²+dW²+dE²)/jc²; l = (dN+dS+dW+dE)/jc
+	g2, l, t := b.F(), b.F(), b.F()
+	b.FMul(g2, vn, vn)
+	b.FMul(t, vs, vs)
+	b.FAdd(g2, g2, t)
+	b.FMul(t, vw, vw)
+	b.FAdd(g2, g2, t)
+	b.FMul(t, ve, ve)
+	b.FAdd(g2, g2, t)
+	jc2 := b.F()
+	b.FMul(jc2, jc, jc)
+	b.FDiv(g2, g2, jc2)
+	b.FAdd(l, vn, vs)
+	b.FAdd(l, l, vw)
+	b.FAdd(l, l, ve)
+	b.FDiv(l, l, jc)
+
+	num, den, qsqr := b.F(), b.F(), b.F()
+	b.FMulI(num, g2, 0.5)
+	b.FMul(t, l, l)
+	b.FMulI(t, t, 1.0/16.0)
+	b.FSub(num, num, t)
+	b.FMulI(den, l, 0.25)
+	b.FAddI(den, den, 1)
+	b.FMul(den, den, den)
+	b.FDiv(qsqr, num, den)
+
+	// c = 1 / (1 + (qsqr - q0)/(q0*(1+q0)))
+	b.FSub(t, qsqr, q0)
+	q01 := b.F()
+	b.FAddI(q01, q0, 1)
+	b.FMul(q01, q01, q0)
+	b.FDiv(t, t, q01)
+	b.FAddI(t, t, 1)
+	c := b.F()
+	one := b.F()
+	b.MovF(one, 1)
+	b.FDiv(c, one, t)
+	zero := b.F()
+	b.MovF(zero, 0)
+	b.FMax(c, c, zero)
+	b.FMin(c, c, one)
+	store(4, pc, c)
+	if shared {
+		// Coalesced write-out of the staged result tiles.
+		b.Bar()
+		out := b.F()
+		ga := b.I()
+		bases := []isa.IReg{pdN, pdS, pdW, pdE, pc}
+		for slot, base := range bases {
+			b.LdF(out, isa.F32, isa.SpaceShared, saddr, int64((slot+1)*tileBytes))
+			b.ShlI(ga, k, 2)
+			b.IAdd(ga, ga, base)
+			b.StF(isa.F32, isa.SpaceGlobal, ga, 0, out)
+		}
+	}
+	return b.Build(sradName("srad1", shared))
+}
+
+// sradKernel2 applies the diffusion update using the coefficient field.
+func sradKernel2(shared bool) *isa.Kernel {
+	b := isa.NewBuilder()
+	if shared {
+		b.SetShared(sradBlock * sradBlock * 4)
+	}
+	tx, ty, gx, gy, k, pn := sradCoords(b)
+	pimg, pdN, pdS, pdW, pdE, pc := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pimg, 0)
+	b.LdParamI(pdN, 1)
+	b.LdParamI(pdS, 2)
+	b.LdParamI(pdW, 3)
+	b.LdParamI(pdE, 4)
+	b.LdParamI(pc, 5)
+	nm1 := b.I()
+	b.ISubI(nm1, pn, 1)
+
+	load := func(base isa.IReg, idx isa.IReg) isa.FReg {
+		v := b.F()
+		a := b.I()
+		b.ShlI(a, idx, 2)
+		b.IAdd(a, a, base)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, a, 0)
+		return v
+	}
+
+	cc := load(pc, k)
+	var saddr isa.IReg
+	if shared {
+		saddr = b.I()
+		b.ShlI(saddr, ty, 4)
+		b.IAdd(saddr, saddr, tx)
+		b.ShlI(saddr, saddr, 2)
+		b.StF(isa.F32, isa.SpaceShared, saddr, 0, cc)
+		b.Bar()
+	}
+
+	// South and east coefficients (clamped).
+	loadC := func(dy, dx int64) isa.FReg {
+		v := b.F()
+		yy, xx := b.I(), b.I()
+		b.IAddI(yy, gy, dy)
+		b.IMin(yy, yy, nm1)
+		b.IAddI(xx, gx, dx)
+		b.IMin(xx, xx, nm1)
+		if shared {
+			tyy, txx := b.I(), b.I()
+			b.IAddI(tyy, ty, dy)
+			b.IAddI(txx, tx, dx)
+			inT, pt := b.P(), b.P()
+			b.SetpII(inT, isa.CmpLT, tyy, sradBlock)
+			b.SetpII(pt, isa.CmpLT, txx, sradBlock)
+			b.PAnd(inT, inT, pt)
+			uy, ux := b.I(), b.I()
+			b.IAddI(uy, gy, dy)
+			b.IAddI(ux, gx, dx)
+			b.SetpI(pt, isa.CmpEQ, uy, yy)
+			b.PAnd(inT, inT, pt)
+			b.SetpI(pt, isa.CmpEQ, ux, xx)
+			b.PAnd(inT, inT, pt)
+			b.If(inT, func() {
+				sa := b.I()
+				b.ShlI(sa, tyy, 4)
+				b.IAdd(sa, sa, txx)
+				b.ShlI(sa, sa, 2)
+				b.LdF(v, isa.F32, isa.SpaceShared, sa, 0)
+			}, func() {
+				ga := b.I()
+				b.IMul(ga, yy, pn)
+				b.IAdd(ga, ga, xx)
+				b.ShlI(ga, ga, 2)
+				b.IAdd(ga, ga, pc)
+				b.LdF(v, isa.F32, isa.SpaceGlobal, ga, 0)
+			})
+			return v
+		}
+		ga := b.I()
+		b.IMul(ga, yy, pn)
+		b.IAdd(ga, ga, xx)
+		b.ShlI(ga, ga, 2)
+		b.IAdd(ga, ga, pc)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, ga, 0)
+		return v
+	}
+	cs := loadC(1, 0)
+	ce := loadC(0, 1)
+
+	vn := load(pdN, k)
+	vs := load(pdS, k)
+	vw := load(pdW, k)
+	ve := load(pdE, k)
+
+	d, t := b.F(), b.F()
+	b.FMul(d, cc, vn)
+	b.FMul(t, cs, vs)
+	b.FAdd(d, d, t)
+	b.FMul(t, cc, vw)
+	b.FAdd(d, d, t)
+	b.FMul(t, ce, ve)
+	b.FAdd(d, d, t)
+
+	jaddr := b.I()
+	b.ShlI(jaddr, k, 2)
+	b.IAdd(jaddr, jaddr, pimg)
+	j := b.F()
+	b.LdF(j, isa.F32, isa.SpaceGlobal, jaddr, 0)
+	b.FMulI(d, d, 0.25*sradLambda)
+	b.FAdd(j, j, d)
+	b.StF(isa.F32, isa.SpaceGlobal, jaddr, 0, j)
+	return b.Build(sradName("srad2", shared))
+}
+
+func sradName(base string, shared bool) string {
+	if shared {
+		return base + "_v2"
+	}
+	return base + "_v1"
+}

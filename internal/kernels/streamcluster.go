@@ -1,0 +1,290 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// StreamCluster evaluates opening candidate centers for the online
+// clustering problem, mirroring Rodinia's pgain kernel: the candidate's
+// coordinates are staged in shared memory, every thread computes its
+// point's cost delta, and a shared-memory tree reduction produces
+// per-block savings; a second kernel commits the reassignment. The heavy
+// shared-memory usage matches Figure 2.
+
+const (
+	scPoints     = 4096 // paper: 65536 points, 256 dims; scaled
+	scDim        = 64
+	scCandidates = 8
+	scBlock      = 256
+)
+
+// StreamCluster is the StreamCluster benchmark (Dense Linear Algebra dwarf).
+var StreamCluster = &Benchmark{
+	Name:      "Stream Cluster",
+	Abbrev:    "SC",
+	Dwarf:     "Dense Linear Algebra",
+	Domain:    "Data Mining",
+	PaperSize: "65536 points, 256 dimensions",
+	SimSize:   fmt.Sprintf("%d points, %d dimensions", scPoints, scDim),
+	New:       func() *Instance { return newStreamCluster(scPoints, scDim, scCandidates) },
+}
+
+func newStreamCluster(n, dim, ncand int) *Instance {
+	mem := isa.NewMemory()
+	coord := mem.AllocGlobal(n * dim * 4) // transposed: coord[f*n+p]
+	curDist := mem.AllocGlobal(n * 4)
+	assign := mem.AllocGlobal(n * 4)
+	partial := mem.AllocGlobal(ceilDiv(n, scBlock) * 4)
+
+	r := newRNG(91)
+	cv := make([]float32, n*dim)
+	for p := 0; p < n; p++ {
+		blob := r.intn(6)
+		for f := 0; f < dim; f++ {
+			v := float32(blob) + float32(r.float())
+			cv[f*n+p] = v
+			mem.WriteF32(isa.SpaceGlobal, coord+uint64((f*n+p)*4), v)
+		}
+	}
+	for p := 0; p < n; p++ {
+		mem.WriteF32(isa.SpaceGlobal, curDist+uint64(p*4), 1e30)
+		mem.WriteI32(isa.SpaceGlobal, assign+uint64(p*4), -1)
+	}
+	mem.SetParamI(0, int64(coord))
+	mem.SetParamI(1, int64(curDist))
+	mem.SetParamI(2, int64(assign))
+	mem.SetParamI(3, int64(n))
+	mem.SetParamI(5, int64(partial))
+
+	kgain := scGainKernel(dim)
+	kupdate := scUpdateKernel(dim)
+	launch := isa.Launch{Grid: ceilDiv(n, scBlock), Block: scBlock}
+
+	candidates := make([]int, ncand)
+	for i := range candidates {
+		candidates[i] = (i * 977) % n
+	}
+
+	totalSavings := make([]float64, 0, ncand)
+	run := func(ex isa.Executor, mem *isa.Memory) error {
+		totalSavings = totalSavings[:0]
+		for _, c := range candidates {
+			mem.SetParamI(4, int64(c))
+			if err := ex.Launch(kgain, launch, mem); err != nil {
+				return err
+			}
+			sum := 0.0
+			for blk := 0; blk < launch.Grid; blk++ {
+				sum += float64(mem.ReadF32(isa.SpaceGlobal, partial+uint64(blk*4)))
+			}
+			totalSavings = append(totalSavings, sum)
+			// The facility is opened (every candidate, to keep the device
+			// and reference decision sequences identical).
+			if err := ex.Launch(kupdate, launch, mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	check := func(mem *isa.Memory) error {
+		// Reference: same candidate sequence, float32 coords widened to
+		// float64 accumulation in feature order.
+		wantDist := make([]float64, n)
+		wantAssign := make([]int32, n)
+		for p := range wantDist {
+			wantDist[p] = 1e30
+			wantAssign[p] = -1
+		}
+		for _, c := range candidates {
+			for p := 0; p < n; p++ {
+				d := 0.0
+				for f := 0; f < dim; f++ {
+					diff := float64(cv[f*n+p]) - float64(cv[f*n+c])
+					d += diff * diff
+				}
+				if d < wantDist[p] {
+					// The device stores curDist as float32; replicate the
+					// rounding so later comparisons agree bit-for-bit.
+					wantDist[p] = float64(float32(d))
+					wantAssign[p] = int32(c)
+				}
+			}
+		}
+		for p := 0; p < n; p++ {
+			gotA := mem.ReadI32(isa.SpaceGlobal, assign+uint64(p*4))
+			if gotA != wantAssign[p] {
+				return fmt.Errorf("assign[%d] = %d, want %d", p, gotA, wantAssign[p])
+			}
+			gotD := float64(mem.ReadF32(isa.SpaceGlobal, curDist+uint64(p*4)))
+			if math.Abs(gotD-wantDist[p]) > 1e-3*(1+wantDist[p]) {
+				return fmt.Errorf("dist[%d] = %g, want %g", p, gotD, wantDist[p])
+			}
+		}
+		if len(totalSavings) != len(candidates) {
+			return fmt.Errorf("recorded %d savings, want %d", len(totalSavings), len(candidates))
+		}
+		return nil
+	}
+
+	return &Instance{Mem: mem, run: run, check: check}
+}
+
+// scStageCandidate emits cooperative staging of the candidate point's
+// coordinates into shared memory (threads 0..dim-1 each load one).
+func scStageCandidate(b *isa.Builder, dim int, tid, pcoord, pn, pcand isa.IReg) {
+	pl := b.P()
+	b.SetpII(pl, isa.CmpLT, tid, int64(dim))
+	b.If(pl, func() {
+		a, sa := b.I(), b.I()
+		v := b.F()
+		b.IMul(a, tid, pn)
+		b.IAdd(a, a, pcand)
+		b.ShlI(a, a, 2)
+		b.IAdd(a, a, pcoord)
+		b.LdF(v, isa.F32, isa.SpaceGlobal, a, 0)
+		b.ShlI(sa, tid, 2)
+		b.StF(isa.F32, isa.SpaceShared, sa, 0, v)
+	}, nil)
+	b.Bar()
+}
+
+// scDistance emits the squared distance between point gid and the staged
+// candidate, leaving it in the returned register.
+func scDistance(b *isa.Builder, dim int, gid, pcoord, pn isa.IReg) isa.FReg {
+	d := b.F()
+	b.MovF(d, 0)
+	f, fa, sa := b.I(), b.I(), b.I()
+	x, c, diff := b.F(), b.F(), b.F()
+	b.ForI(f, 0, int64(dim), 1, func() {
+		b.IMul(fa, f, pn)
+		b.IAdd(fa, fa, gid)
+		b.ShlI(fa, fa, 2)
+		b.IAdd(fa, fa, pcoord)
+		b.LdF(x, isa.F32, isa.SpaceGlobal, fa, 0)
+		b.ShlI(sa, f, 2)
+		b.LdF(c, isa.F32, isa.SpaceShared, sa, 0)
+		b.FSub(diff, x, c)
+		b.FMA(d, diff, diff, d)
+	})
+	return d
+}
+
+// scGainKernel computes per-block savings of opening the candidate.
+func scGainKernel(dim int) *isa.Kernel {
+	const shSav = scDim * 4 // savings array follows the candidate coords
+	b := isa.NewBuilder()
+	b.SetShared(scDim*4 + scBlock*4)
+
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	gid := b.I()
+	b.IMulI(gid, cta, scBlock)
+	b.IAdd(gid, gid, tid)
+
+	pcoord, pdist, pn, pcand, ppart := b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pcoord, 0)
+	b.LdParamI(pdist, 1)
+	b.LdParamI(pn, 3)
+	b.LdParamI(pcand, 4)
+	b.LdParamI(ppart, 5)
+
+	scStageCandidate(b, dim, tid, pcoord, pn, pcand)
+
+	sav := b.F()
+	b.MovF(sav, 0)
+	inRange := b.P()
+	b.SetpI(inRange, isa.CmpLT, gid, pn)
+	b.If(inRange, func() {
+		d := scDistance(b, dim, gid, pcoord, pn)
+		cur := b.F()
+		a := b.I()
+		b.ShlI(a, gid, 2)
+		b.IAdd(a, a, pdist)
+		b.LdF(cur, isa.F32, isa.SpaceGlobal, a, 0)
+		b.FSub(d, d, cur)
+		zero := b.F()
+		b.MovF(zero, 0)
+		b.FMin(sav, d, zero) // only negative deltas are savings
+	}, nil)
+
+	// Tree reduction of savings in shared memory.
+	sa := b.I()
+	b.ShlI(sa, tid, 2)
+	b.StF(isa.F32, isa.SpaceShared, sa, shSav, sav)
+	b.Bar()
+	for s := scBlock / 2; s > 0; s /= 2 {
+		pr := b.P()
+		b.SetpII(pr, isa.CmpLT, tid, int64(s))
+		b.If(pr, func() {
+			a1, a2 := b.F(), b.F()
+			ob := b.I()
+			b.IAddI(ob, tid, int64(s))
+			b.ShlI(ob, ob, 2)
+			b.LdF(a1, isa.F32, isa.SpaceShared, sa, shSav)
+			b.LdF(a2, isa.F32, isa.SpaceShared, ob, shSav)
+			b.FAdd(a1, a1, a2)
+			b.StF(isa.F32, isa.SpaceShared, sa, shSav, a1)
+		}, nil)
+		b.Bar()
+	}
+	p0 := b.P()
+	b.SetpII(p0, isa.CmpEQ, tid, 0)
+	b.If(p0, func() {
+		res := b.F()
+		zero, oa := b.I(), b.I()
+		b.MovI(zero, 0)
+		b.LdF(res, isa.F32, isa.SpaceShared, zero, shSav)
+		b.ShlI(oa, cta, 2)
+		b.IAdd(oa, oa, ppart)
+		b.StF(isa.F32, isa.SpaceGlobal, oa, 0, res)
+	}, nil)
+	return b.Build("sc_pgain")
+}
+
+// scUpdateKernel reassigns points that are closer to the newly opened
+// candidate.
+func scUpdateKernel(dim int) *isa.Kernel {
+	b := isa.NewBuilder()
+	b.SetShared(scDim * 4)
+	tid, cta := b.I(), b.I()
+	b.Rd(tid, isa.SpecTid)
+	b.Rd(cta, isa.SpecCta)
+	gid := b.I()
+	b.IMulI(gid, cta, scBlock)
+	b.IAdd(gid, gid, tid)
+
+	pcoord, pdist, passign, pn, pcand := b.I(), b.I(), b.I(), b.I(), b.I()
+	b.LdParamI(pcoord, 0)
+	b.LdParamI(pdist, 1)
+	b.LdParamI(passign, 2)
+	b.LdParamI(pn, 3)
+	b.LdParamI(pcand, 4)
+
+	scStageCandidate(b, dim, tid, pcoord, pn, pcand)
+
+	inRange := b.P()
+	b.SetpI(inRange, isa.CmpLT, gid, pn)
+	b.If(inRange, func() {
+		d := scDistance(b, dim, gid, pcoord, pn)
+		cur := b.F()
+		a := b.I()
+		b.ShlI(a, gid, 2)
+		b.IAdd(a, a, pdist)
+		b.LdF(cur, isa.F32, isa.SpaceGlobal, a, 0)
+		closer := b.P()
+		b.SetpF(closer, isa.CmpLT, d, cur)
+		b.If(closer, func() {
+			b.StF(isa.F32, isa.SpaceGlobal, a, 0, d)
+			aa := b.I()
+			b.ShlI(aa, gid, 2)
+			b.IAdd(aa, aa, passign)
+			b.St(isa.I32, isa.SpaceGlobal, aa, 0, pcand)
+		}, nil)
+	}, nil)
+	return b.Build("sc_update")
+}

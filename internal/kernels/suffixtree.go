@@ -1,0 +1,180 @@
+package kernels
+
+// Suffix tree construction (Ukkonen's online algorithm) over the DNA
+// alphabet, used by the MUMmer benchmark. The tree is built on the host —
+// as MUMmerGPU builds it on the CPU with Ukkonen's algorithm — then
+// flattened into arrays bound to texture memory for the GPU walk.
+
+// stAlpha is the alphabet size: A, C, G, T plus the terminator.
+const stAlpha = 5
+
+// stTerm is the terminator symbol appended to the reference.
+const stTerm = 4
+
+// stNode is one suffix-tree node. The edge *into* the node is labeled
+// s[Start:End). End == -1 marks a growing leaf during construction.
+type stNode struct {
+	Start, End int
+	Link       int
+	Children   [stAlpha]int32
+}
+
+func newSTNode(start, end int) stNode {
+	n := stNode{Start: start, End: end}
+	for i := range n.Children {
+		n.Children[i] = -1
+	}
+	return n
+}
+
+// suffixTree holds the built tree over the terminated reference string.
+type suffixTree struct {
+	S     []byte // reference with terminator
+	Nodes []stNode
+}
+
+// buildSuffixTree runs Ukkonen's algorithm over ref (symbols 0..3). The
+// terminator is appended internally.
+func buildSuffixTree(ref []byte) *suffixTree {
+	s := make([]byte, 0, len(ref)+1)
+	s = append(s, ref...)
+	s = append(s, stTerm)
+
+	nodes := make([]stNode, 1, 2*len(s))
+	nodes[0] = newSTNode(-1, -1)
+
+	edgeEnd := func(n int, i int) int {
+		if nodes[n].End == -1 {
+			return i + 1
+		}
+		return nodes[n].End
+	}
+
+	activeNode, activeEdge, activeLength := 0, 0, 0
+	remainder := 0
+	for i := 0; i < len(s); i++ {
+		lastNewNode := -1
+		remainder++
+		for remainder > 0 {
+			if activeLength == 0 {
+				activeEdge = i
+			}
+			ch := s[activeEdge]
+			if nodes[activeNode].Children[ch] == -1 {
+				nodes = append(nodes, newSTNode(i, -1))
+				nodes[activeNode].Children[ch] = int32(len(nodes) - 1)
+				if lastNewNode != -1 {
+					nodes[lastNewNode].Link = activeNode
+					lastNewNode = -1
+				}
+			} else {
+				next := int(nodes[activeNode].Children[ch])
+				el := edgeEnd(next, i) - nodes[next].Start
+				if activeLength >= el {
+					activeEdge += el
+					activeLength -= el
+					activeNode = next
+					continue
+				}
+				if s[nodes[next].Start+activeLength] == s[i] {
+					activeLength++
+					if lastNewNode != -1 {
+						nodes[lastNewNode].Link = activeNode
+						lastNewNode = -1
+					}
+					break
+				}
+				// Split the edge.
+				split := newSTNode(nodes[next].Start, nodes[next].Start+activeLength)
+				nodes = append(nodes, split)
+				splitID := len(nodes) - 1
+				nodes[activeNode].Children[ch] = int32(splitID)
+				nodes = append(nodes, newSTNode(i, -1))
+				nodes[splitID].Children[s[i]] = int32(len(nodes) - 1)
+				nodes[next].Start += activeLength
+				nodes[splitID].Children[s[nodes[next].Start]] = int32(next)
+				if lastNewNode != -1 {
+					nodes[lastNewNode].Link = splitID
+				}
+				lastNewNode = splitID
+			}
+			remainder--
+			if activeNode == 0 && activeLength > 0 {
+				activeLength--
+				activeEdge = i - remainder + 1
+			} else if activeNode != 0 {
+				activeNode = nodes[activeNode].Link
+			}
+		}
+	}
+	// Freeze leaf edges.
+	for n := range nodes {
+		if nodes[n].End == -1 {
+			nodes[n].End = len(s)
+		}
+	}
+	return &suffixTree{S: s, Nodes: nodes}
+}
+
+// matchFrom returns the length of the longest prefix of q that matches a
+// path from the root (ignoring terminator edges for symbols outside 0..3).
+func (t *suffixTree) matchFrom(q []byte) int {
+	node := 0
+	matched := 0
+	j := 0
+	for j < len(q) {
+		c := q[j]
+		if c >= stTerm {
+			return matched
+		}
+		child := t.Nodes[node].Children[c]
+		if child < 0 {
+			return matched
+		}
+		n := &t.Nodes[child]
+		l := 0
+		el := n.End - n.Start
+		for l < el && j < len(q) {
+			if t.S[n.Start+l] != q[j] {
+				return matched
+			}
+			l++
+			j++
+			matched++
+		}
+		if l < el {
+			return matched
+		}
+		node = int(child)
+	}
+	return matched
+}
+
+// flatTree is the texture-memory layout of the suffix tree: a 4-wide child
+// table (terminator edges are dropped; queries never contain it) and the
+// edge label span for every node.
+type flatTree struct {
+	Children  []int32 // [node*4 + base] -> child id or -1
+	EdgeStart []int32 // label start in the reference, per node
+	EdgeLen   []int32 // label length, per node
+}
+
+func (t *suffixTree) flatten() *flatTree {
+	n := len(t.Nodes)
+	f := &flatTree{
+		Children:  make([]int32, n*4),
+		EdgeStart: make([]int32, n),
+		EdgeLen:   make([]int32, n),
+	}
+	for i, nd := range t.Nodes {
+		for base := 0; base < 4; base++ {
+			f.Children[i*4+base] = nd.Children[base]
+		}
+		if i == 0 {
+			continue
+		}
+		f.EdgeStart[i] = int32(nd.Start)
+		f.EdgeLen[i] = int32(nd.End - nd.Start)
+	}
+	return f
+}

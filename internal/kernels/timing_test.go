@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/isa"
+)
+
+// TestTimingModeCorrectness validates a subset of benchmarks end-to-end
+// under the cycle-level timing model (the full set runs in the experiment
+// suite; these are the quick ones).
+func TestTimingModeCorrectness(t *testing.T) {
+	for _, ab := range []string{"BP", "LUD", "HW", "KM", "SC"} {
+		ab := ab
+		t.Run(ab, func(t *testing.T) {
+			t.Parallel()
+			b, ok := ByAbbrev(ab)
+			if !ok {
+				t.Fatalf("unknown benchmark %s", ab)
+			}
+			in := b.Instance()
+			g, err := gpusim.New(gpusim.Base8SM())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Run(g); err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Stats.Cycles == 0 || g.Stats.ThreadInstrs == 0 {
+				t.Fatal("no timing recorded")
+			}
+		})
+	}
+}
+
+// TestTimingDeterministic verifies the simulator reports identical cycle
+// counts across runs of the same benchmark.
+func TestTimingDeterministic(t *testing.T) {
+	run := func() uint64 {
+		in := LUD.Instance()
+		g, _ := gpusim.New(gpusim.Base8SM())
+		if err := in.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic timing: %d vs %d cycles", a, b)
+	}
+}
+
+// TestMemorySpaceUsageMatchesPaper locks in the Figure 2 signatures: which
+// benchmarks use shared, texture and constant memory at all.
+func TestMemorySpaceUsageMatchesPaper(t *testing.T) {
+	stats := func(ab string) *gpusim.Stats {
+		b, _ := ByAbbrev(ab)
+		in := b.Instance()
+		g, _ := gpusim.New(gpusim.Base8SM())
+		if err := in.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats
+	}
+	// Shared-memory users.
+	for _, ab := range []string{"BP", "HS", "NW", "SC", "LUD"} {
+		if stats(ab).MemOps[isa.SpaceShared] == 0 {
+			t.Errorf("%s issues no shared-memory ops", ab)
+		}
+	}
+	// Texture users.
+	for _, ab := range []string{"KM", "LC", "MUM", "HW"} {
+		if stats(ab).MemOps[isa.SpaceTex] == 0 {
+			t.Errorf("%s issues no texture ops", ab)
+		}
+	}
+	// Constant users.
+	for _, ab := range []string{"HW", "KM", "LC", "CFD"} {
+		if stats(ab).MemOps[isa.SpaceConst] == 0 {
+			t.Errorf("%s issues no constant ops", ab)
+		}
+	}
+	// BFS is global-dominated: no shared, tex or const at all.
+	bfs := stats("BFS")
+	if bfs.MemOps[isa.SpaceShared]+bfs.MemOps[isa.SpaceTex]+bfs.MemOps[isa.SpaceConst] != 0 {
+		t.Error("BFS uses specialized memory spaces")
+	}
+	if bfs.MemOps[isa.SpaceGlobal] == 0 {
+		t.Error("BFS issues no global ops")
+	}
+}
+
+// TestDivergenceSignatures locks in Figure 3's extremes: MUMmer is
+// divergence-dominated, SRAD is not.
+func TestDivergenceSignatures(t *testing.T) {
+	run := func(b *Benchmark) [4]float64 {
+		in := b.Instance()
+		g, _ := gpusim.New(gpusim.Base8SM())
+		if err := in.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats.OccupancyFractions()
+	}
+	mum := run(MUMmer)
+	if mum[0] < 0.3 {
+		t.Errorf("MUM low-occupancy fraction %.2f, want dominated by 1-8 lanes", mum[0])
+	}
+	srad := run(SRAD)
+	if srad[3] < 0.5 {
+		t.Errorf("SRAD full-warp fraction %.2f, want mostly full warps", srad[3])
+	}
+}
+
+// TestIncrementalVersionsImprove locks in the Table III direction: each
+// v2 outperforms its v1 on the paper's 28-SM configuration (Leukocyte
+// v2's persistent-block gains only materialize with enough SMs).
+func TestIncrementalVersionsImprove(t *testing.T) {
+	ipc := func(b *Benchmark) float64 {
+		in := b.Instance()
+		g, _ := gpusim.New(gpusim.Base())
+		if err := in.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats.IPC()
+	}
+	if v1, v2 := ipc(SRADv1), ipc(SRAD); v2 <= v1 {
+		t.Errorf("SRAD v2 IPC %.0f not above v1 %.0f", v2, v1)
+	}
+	if v1, v2 := ipc(LeukocyteV1), ipc(Leukocyte); v2 <= v1 {
+		t.Errorf("Leukocyte v2 IPC %.0f not above v1 %.0f", v2, v1)
+	}
+}
+
+// TestAnnouncedIncrementalVersions validates the NW and LUD v1 variants
+// the paper announces alongside Table III.
+func TestAnnouncedIncrementalVersions(t *testing.T) {
+	for _, b := range []*Benchmark{NWv1, LUDv1} {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			in := b.Instance()
+			var ex isa.Functional
+			if err := in.Run(&ex); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := in.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+// TestV1VariantsAvoidSharedMemory: the point of each v1 is the absence of
+// the optimization; their kernels must not touch shared memory.
+func TestV1VariantsAvoidSharedMemory(t *testing.T) {
+	for _, b := range []*Benchmark{NWv1, LUDv1} {
+		in := b.Instance()
+		g, _ := gpusim.New(gpusim.Base8SM())
+		if err := in.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		if g.Stats.MemOps[isa.SpaceShared] != 0 {
+			t.Errorf("%s issues shared-memory ops", b.Abbrev)
+		}
+		if g.Stats.MemOps[isa.SpaceGlobal] == 0 {
+			t.Errorf("%s issues no global ops", b.Abbrev)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package micro
+
+import (
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestALUPeakNearCeiling(t *testing.T) {
+	r, err := ALUPeak(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 0.8 || r.Value > 1.0 {
+		t.Fatalf("ALU peak fraction %.2f, want 0.8-1.0 (%s)", r.Value, r.Note)
+	}
+}
+
+func TestSFUFourTimesSlower(t *testing.T) {
+	r, err := SFUThroughput(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 3 || r.Value > 5 {
+		t.Fatalf("SFU/ALU ratio %.2f, want ~4", r.Value)
+	}
+}
+
+func TestBankConflictLadderMonotone(t *testing.T) {
+	rs, err := BankConflictLadder(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Value < rs[i-1].Value-1e-9 {
+			t.Fatalf("ladder not monotone: %+v", rs)
+		}
+	}
+	// On a 16-bank machine, stride 16 must be ~16x stride 1.
+	last := rs[len(rs)-1]
+	if last.Value < 8 {
+		t.Fatalf("stride-16 slowdown %.1f, want >= 8 (%s)", last.Value, last.Note)
+	}
+}
+
+func TestCoalescingInflatesTransactions(t *testing.T) {
+	r, err := CoalescingProbe(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 8 || r.Value > 17 {
+		t.Fatalf("transaction inflation %.1f, want ~16 (%s)", r.Value, r.Note)
+	}
+}
+
+func TestStreamBandwidthSaturates(t *testing.T) {
+	r, err := StreamBandwidth(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 0.5 {
+		t.Fatalf("stream achieves %.0f%% of peak, want >= 50%% (%s)", 100*r.Value, r.Note)
+	}
+}
+
+func TestMemoryLatencyNearConfigured(t *testing.T) {
+	cfg := gpusim.Base8SM()
+	r, err := MemoryLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := float64(cfg.DRAMLatency)
+	hi := 2.5 * float64(cfg.DRAMLatency)
+	if r.Value < lo || r.Value > hi {
+		t.Fatalf("dependent-load latency %.0f cycles, want within [%.0f, %.0f]", r.Value, lo, hi)
+	}
+}
+
+func TestDivergenceLadderDegrades(t *testing.T) {
+	rs, err := DivergenceLadder(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != 1 {
+		t.Fatalf("1-way baseline fraction %.2f", rs[0].Value)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Value > rs[i-1].Value+0.05 {
+			t.Fatalf("divergence ladder not degrading: %+v", rs)
+		}
+	}
+	// Fully divergent warps should lose most of their throughput.
+	last := rs[len(rs)-1]
+	if last.Value > 0.25 {
+		t.Fatalf("32-way divergence keeps %.0f%% of IPC, want <= 25%%", 100*last.Value)
+	}
+}
+
+func TestRunAllProducesFullSuite(t *testing.T) {
+	rs, err := RunAll(gpusim.Base8SM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 12 {
+		t.Fatalf("suite produced %d results", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.Name == "" || r.Metric == "" {
+			t.Fatalf("incomplete result %+v", r)
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate result %s", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}

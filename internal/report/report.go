@@ -1,0 +1,183 @@
+// Package report renders the paper's artifacts — tables, bar charts,
+// stacked percentage charts, PCA scatter plots and dendrograms — as plain
+// text, so every figure regenerates on a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one named data series over shared labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Bars renders horizontal grouped bar charts: one group per label, one
+// bar per series (Figure 1's 8- vs 28-shader IPCs, Figure 4's channel
+// sweep, Figure 5's three devices).
+func Bars(title string, labels []string, series []Series, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for _, s := range series {
+		if len(s.Name) > maxLabel {
+			maxLabel = len(s.Name)
+		}
+	}
+	for i, l := range labels {
+		for si, s := range series {
+			name := ""
+			if si == 0 {
+				name = l
+			}
+			n := int(s.Values[i] / maxV * float64(width))
+			fmt.Fprintf(&b, "%-*s %-10s |%s %.4g\n", maxLabel, name, s.Name, strings.Repeat("#", n), s.Values[i])
+		}
+	}
+	return b.String()
+}
+
+// Stacked renders a 100%-stacked breakdown per label (Figures 2 and 3):
+// each series value is that label's fraction of the given category.
+func Stacked(title string, labels []string, series []Series, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	glyphs := []byte("#=+:.xo*")
+	for i, l := range labels {
+		fmt.Fprintf(&b, "%-*s |", maxLabel, l)
+		total := 0.0
+		for _, s := range series {
+			total += s.Values[i]
+		}
+		if total == 0 {
+			total = 1
+		}
+		for si, s := range series {
+			n := int(math.Round(s.Values[i] / total * float64(width)))
+			b.WriteString(strings.Repeat(string(glyphs[si%len(glyphs)]), n))
+		}
+		b.WriteString("|")
+		for _, s := range series {
+			fmt.Fprintf(&b, " %s=%.1f%%", s.Name, 100*s.Values[i]/total)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Scatter renders a labeled 2-D scatter plot (the PCA planes of Figures
+// 7, 8 and 9). Marks: '*' for the first class, 'o' for the second; points
+// from overlapping classes render '@'.
+func Scatter(title string, xs, ys []float64, labels []string, class []int, w, h int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	mark := func(cls int) byte {
+		if cls == 0 {
+			return '*'
+		}
+		return 'o'
+	}
+	for i := range xs {
+		c := int((xs[i] - minX) / (maxX - minX) * float64(w-1))
+		r := h - 1 - int((ys[i]-minY)/(maxY-minY)*float64(h-1))
+		m := mark(class[i])
+		if grid[r][c] != ' ' && grid[r][c] != m {
+			m = '@'
+		}
+		grid[r][c] = m
+	}
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "x: [%.2f, %.2f]  y: [%.2f, %.2f]  (* = first class, o = second)\n", minX, maxX, minY, maxY)
+	// Point key, ordered as given.
+	for i, l := range labels {
+		fmt.Fprintf(&b, "  %c %-18s (%6.2f, %6.2f)\n", mark(class[i]), l, xs[i], ys[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "23456"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All value columns start at the same offset.
+	idx := strings.Index(lines[0], "Value")
+	if idx < 0 {
+		t.Fatal("missing header")
+	}
+	if lines[2][idx:idx+1] != "1" && !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestBarsScalesToWidth(t *testing.T) {
+	out := Bars("title", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{10, 5}},
+	}, 20)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	var barA, barB int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if strings.HasPrefix(l, "a") {
+			barA = n
+		}
+		if strings.HasPrefix(l, "b") {
+			barB = n
+		}
+	}
+	if barA != 20 {
+		t.Fatalf("max bar is %d chars, want 20", barA)
+	}
+	if barB != 10 {
+		t.Fatalf("half bar is %d chars, want 10", barB)
+	}
+}
+
+func TestBarsEmptySeriesSafe(t *testing.T) {
+	out := Bars("t", []string{"x"}, []Series{{Name: "s", Values: []float64{0}}}, 10)
+	if !strings.Contains(out, "0") {
+		t.Fatalf("zero bar missing value:\n%s", out)
+	}
+}
+
+func TestStackedSumsTo100(t *testing.T) {
+	out := Stacked("t", []string{"w"}, []Series{
+		{Name: "a", Values: []float64{0.25}},
+		{Name: "b", Values: []float64{0.75}},
+	}, 40)
+	if !strings.Contains(out, "a=25.0%") || !strings.Contains(out, "b=75.0%") {
+		t.Fatalf("percentages wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestScatterPlacesExtremes(t *testing.T) {
+	out := Scatter("t", []float64{0, 10}, []float64{0, 5},
+		[]string{"lo", "hi"}, []int{0, 1}, 40, 10)
+	if !strings.Contains(out, "lo") || !strings.Contains(out, "hi") {
+		t.Fatalf("missing point key:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing class marks:\n%s", out)
+	}
+	if !strings.Contains(out, "x: [0.00, 10.00]") {
+		t.Fatalf("missing range:\n%s", out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical must not divide by zero.
+	out := Scatter("t", []float64{1, 1}, []float64{2, 2},
+		[]string{"a", "b"}, []int{0, 0}, 20, 5)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Linkage selects the inter-cluster distance update rule.
+type Linkage uint8
+
+// Linkage rules.
+const (
+	SingleLinkage Linkage = iota
+	CompleteLinkage
+	AverageLinkage
+)
+
+// DendroNode is a node of the binary cluster tree. Leaves have Left ==
+// Right == nil and carry an observation Index.
+type DendroNode struct {
+	Index       int // leaf: observation index; internal: -1
+	Label       string
+	Left, Right *DendroNode
+	Height      float64 // linkage distance at the merge
+	size        int
+}
+
+// Leaves returns the leaf labels in dendrogram (left-to-right) order.
+func (n *DendroNode) Leaves() []string {
+	if n.Left == nil {
+		return []string{n.Label}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// LeafIndices returns the observation indices in dendrogram order.
+func (n *DendroNode) LeafIndices() []int {
+	if n.Left == nil {
+		return []int{n.Index}
+	}
+	return append(n.Left.LeafIndices(), n.Right.LeafIndices()...)
+}
+
+// HCluster agglomeratively clusters the rows of m (Euclidean distance)
+// and returns the root of the dendrogram.
+func HCluster(m *Matrix, labels []string, link Linkage) (*DendroNode, error) {
+	n := m.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("stats: no observations")
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("stats: %d labels for %d observations", len(labels), n)
+	}
+	active := make([]*DendroNode, n)
+	for i := range active {
+		active[i] = &DendroNode{Index: i, Label: labels[i], size: 1}
+	}
+	// Pairwise distance table between active clusters.
+	dist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	euclid := func(a, b int) float64 {
+		s := 0.0
+		for c := 0; c < m.Cols; c++ {
+			d := m.At(a, c) - m.At(b, c)
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	ids := make([]int, n) // active cluster ids; index into nodes map
+	nodes := map[int]*DendroNode{}
+	for i := 0; i < n; i++ {
+		ids[i] = i
+		nodes[i] = active[i]
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			dist[key(a, b)] = euclid(a, b)
+		}
+	}
+	nextID := n
+	for len(ids) > 1 {
+		// Find the closest pair.
+		best := math.Inf(1)
+		var ba, bb int
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if d := dist[key(ids[i], ids[j])]; d < best {
+					best = d
+					ba, bb = ids[i], ids[j]
+				}
+			}
+		}
+		merged := &DendroNode{
+			Index:  -1,
+			Left:   nodes[ba],
+			Right:  nodes[bb],
+			Height: best,
+			size:   nodes[ba].size + nodes[bb].size,
+		}
+		nodes[nextID] = merged
+		// Update distances via the linkage rule.
+		for _, id := range ids {
+			if id == ba || id == bb {
+				continue
+			}
+			da, db := dist[key(id, ba)], dist[key(id, bb)]
+			var d float64
+			switch link {
+			case SingleLinkage:
+				d = math.Min(da, db)
+			case CompleteLinkage:
+				d = math.Max(da, db)
+			default: // average (UPGMA)
+				wa, wb := float64(nodes[ba].size), float64(nodes[bb].size)
+				d = (wa*da + wb*db) / (wa + wb)
+			}
+			dist[key(id, nextID)] = d
+		}
+		// Replace ba, bb with the merged id.
+		out := ids[:0]
+		for _, id := range ids {
+			if id != ba && id != bb {
+				out = append(out, id)
+			}
+		}
+		ids = append(out, nextID)
+		nextID++
+	}
+	return nodes[ids[0]], nil
+}
+
+// RenderDendrogram draws an ASCII dendrogram (leaves on the left, merge
+// heights increasing to the right), in the style of Figure 6.
+func RenderDendrogram(root *DendroNode, width int) string {
+	leaves := root.Leaves()
+	maxLabel := 0
+	for _, l := range leaves {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	maxH := root.Height
+	if maxH == 0 {
+		maxH = 1
+	}
+	scale := float64(width-maxLabel-4) / maxH
+
+	// Assign each leaf a row; internal nodes sit between their children.
+	type pos struct{ row, col int }
+	var b strings.Builder
+	grid := map[pos]rune{}
+	put := func(r, c int, ch rune) {
+		p := pos{r, c}
+		if old, ok := grid[p]; ok && old != ' ' && old != ch {
+			grid[p] = '+'
+			return
+		}
+		grid[p] = ch
+	}
+	rowOf := map[*DendroNode]int{}
+	colOf := map[*DendroNode]int{}
+	nextRow := 0
+	var place func(n *DendroNode)
+	place = func(n *DendroNode) {
+		if n.Left == nil {
+			rowOf[n] = nextRow * 2
+			colOf[n] = maxLabel + 1
+			nextRow++
+			return
+		}
+		place(n.Left)
+		place(n.Right)
+		col := maxLabel + 1 + int(n.Height*scale)
+		rowOf[n] = (rowOf[n.Left] + rowOf[n.Right]) / 2
+		colOf[n] = col
+		// Horizontal arms from children to this merge column.
+		for _, ch := range []*DendroNode{n.Left, n.Right} {
+			for c := colOf[ch]; c <= col; c++ {
+				put(rowOf[ch], c, '-')
+			}
+		}
+		// Vertical spine.
+		lo, hi := rowOf[n.Left], rowOf[n.Right]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for r := lo; r <= hi; r++ {
+			put(r, col, '|')
+		}
+		put(rowOf[n.Left], col, '+')
+		put(rowOf[n.Right], col, '+')
+	}
+	place(root)
+
+	totalRows := nextRow*2 - 1
+	maxCol := maxLabel + 2 + int(maxH*scale)
+	li := 0
+	for r := 0; r < totalRows; r++ {
+		if r%2 == 0 {
+			fmt.Fprintf(&b, "%-*s ", maxLabel, leaves[li])
+			li++
+		} else {
+			fmt.Fprintf(&b, "%-*s ", maxLabel, "")
+		}
+		for c := maxLabel + 1; c <= maxCol; c++ {
+			if ch, ok := grid[pos{r, c}]; ok {
+				b.WriteRune(ch)
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CutHeight returns the clusters obtained by cutting the dendrogram at a
+// height threshold: groups of leaf indices.
+func CutHeight(root *DendroNode, h float64) [][]int {
+	var groups [][]int
+	var walk func(n *DendroNode)
+	walk = func(n *DendroNode) {
+		if n.Left == nil || n.Height <= h {
+			g := n.LeafIndices()
+			sort.Ints(g)
+			groups = append(groups, g)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return groups
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plackett-Burman screening design (Yi, Lilja & Hawkins), used by the
+// paper's GPU sensitivity study: with n architectural parameters, ~2n
+// simulations estimate each parameter's main effect instead of the 2^n a
+// full factorial would need.
+
+// pb12Generator is the standard first row of the 12-run Plackett-Burman
+// design; subsequent rows are cyclic right-shifts, plus a final all-low
+// row.
+var pb12Generator = []int{+1, +1, -1, +1, +1, +1, -1, -1, -1, +1, -1}
+
+// PB12 returns the 12-run, 11-column Plackett-Burman design matrix with
+// entries in {-1, +1}.
+func PB12() [][]int {
+	const cols = 11
+	design := make([][]int, 12)
+	for r := 0; r < 11; r++ {
+		row := make([]int, cols)
+		for c := 0; c < cols; c++ {
+			row[c] = pb12Generator[((c-r)%cols+cols)%cols]
+		}
+		design[r] = row
+	}
+	low := make([]int, cols)
+	for c := range low {
+		low[c] = -1
+	}
+	design[11] = low
+	return design
+}
+
+// Effect is one factor's estimated main effect on the response.
+type Effect struct {
+	Factor string
+	Value  float64 // signed main effect (high minus low average)
+}
+
+// PBEffects estimates the main effect of each named factor from the
+// responses of the design's runs: effect_f = mean(response | f=+1) -
+// mean(response | f=-1). Factors beyond len(names) are dummy columns and
+// are ignored.
+func PBEffects(design [][]int, responses []float64, names []string) ([]Effect, error) {
+	if len(design) != len(responses) {
+		return nil, fmt.Errorf("stats: %d responses for %d runs", len(responses), len(design))
+	}
+	if len(design) == 0 || len(names) > len(design[0]) {
+		return nil, fmt.Errorf("stats: %d factors exceed %d design columns", len(names), len(design[0]))
+	}
+	out := make([]Effect, len(names))
+	for f := range names {
+		hi, lo := 0.0, 0.0
+		nhi, nlo := 0, 0
+		for r, row := range design {
+			if row[f] > 0 {
+				hi += responses[r]
+				nhi++
+			} else {
+				lo += responses[r]
+				nlo++
+			}
+		}
+		out[f] = Effect{Factor: names[f], Value: hi/float64(nhi) - lo/float64(nlo)}
+	}
+	return out, nil
+}
+
+// RankEffects sorts effects by decreasing magnitude.
+func RankEffects(effects []Effect) []Effect {
+	out := append([]Effect(nil), effects...)
+	sort.Slice(out, func(a, b int) bool {
+		av, bv := out[a].Value, out[b].Value
+		if av < 0 {
+			av = -av
+		}
+		if bv < 0 {
+			bv = -bv
+		}
+		return av > bv
+	})
+	return out
+}

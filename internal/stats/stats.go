@@ -1,0 +1,279 @@
+// Package stats implements the statistical machinery of Section IV and
+// the sensitivity study of Section III.E: z-score standardization,
+// principal component analysis (via a Jacobi eigensolver), agglomerative
+// hierarchical clustering with dendrogram construction, and the
+// Plackett-Burman two-level screening design.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a dense row-major matrix: rows are observations (workloads),
+// columns are features.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all must share a length).
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("stats: empty matrix")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("stats: ragged rows (%d vs %d)", len(r), cols)
+		}
+		copy(m.Data[i*cols:], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Standardize z-scores every column in place (zero mean, unit variance;
+// constant columns become all-zero rather than NaN).
+func (m *Matrix) Standardize() {
+	for j := 0; j < m.Cols; j++ {
+		mean, sd := 0.0, 0.0
+		for i := 0; i < m.Rows; i++ {
+			mean += m.At(i, j)
+		}
+		mean /= float64(m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			d := m.At(i, j) - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd / float64(m.Rows))
+		for i := 0; i < m.Rows; i++ {
+			if sd < 1e-12 {
+				m.Set(i, j, 0)
+			} else {
+				m.Set(i, j, (m.At(i, j)-mean)/sd)
+			}
+		}
+	}
+}
+
+// PCA holds a principal component analysis result.
+type PCA struct {
+	// Components are the eigenvectors of the covariance matrix, one per
+	// row, ordered by decreasing eigenvalue.
+	Components *Matrix
+	// Eigenvalues, decreasing.
+	Eigenvalues []float64
+	// Scores are the observations projected onto the components
+	// (rows = observations, cols = components).
+	Scores *Matrix
+}
+
+// ComputePCA standardizes a copy of m and performs PCA. The input matrix
+// is not modified.
+func ComputePCA(m *Matrix) (*PCA, error) {
+	if m.Rows < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 observations")
+	}
+	x := NewMatrix(m.Rows, m.Cols)
+	copy(x.Data, m.Data)
+	x.Standardize()
+
+	// Covariance matrix (features are zero-mean after standardization).
+	n := m.Cols
+	cov := make([]float64, n*n)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			s := 0.0
+			for i := 0; i < m.Rows; i++ {
+				s += x.At(i, a) * x.At(i, b)
+			}
+			s /= float64(m.Rows - 1)
+			cov[a*n+b] = s
+			cov[b*n+a] = s
+		}
+	}
+	vals, vecs := jacobiEigen(cov, n)
+
+	// Sort by decreasing eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	p := &PCA{
+		Components:  NewMatrix(n, n),
+		Eigenvalues: make([]float64, n),
+		Scores:      NewMatrix(m.Rows, n),
+	}
+	for r, id := range idx {
+		p.Eigenvalues[r] = vals[id]
+		for c := 0; c < n; c++ {
+			p.Components.Set(r, c, vecs[c*n+id]) // eigenvector id, element c
+		}
+	}
+	// Scores: X * components^T.
+	for i := 0; i < m.Rows; i++ {
+		for r := 0; r < n; r++ {
+			s := 0.0
+			for c := 0; c < n; c++ {
+				s += x.At(i, c) * p.Components.At(r, c)
+			}
+			p.Scores.Set(i, r, s)
+		}
+	}
+	return p, nil
+}
+
+// VarianceExplained returns the cumulative variance fraction captured by
+// the first k components.
+func (p *PCA) VarianceExplained(k int) float64 {
+	total, part := 0.0, 0.0
+	for i, v := range p.Eigenvalues {
+		if v > 0 {
+			total += v
+			if i < k {
+				part += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return part / total
+}
+
+// ComponentsFor returns the smallest k with VarianceExplained(k) >= frac.
+func (p *PCA) ComponentsFor(frac float64) int {
+	for k := 1; k <= len(p.Eigenvalues); k++ {
+		if p.VarianceExplained(k) >= frac {
+			return k
+		}
+	}
+	return len(p.Eigenvalues)
+}
+
+// jacobiEigen computes eigenvalues and eigenvectors of a symmetric matrix
+// with the cyclic Jacobi rotation method. vecs is column-major: column j
+// is the eigenvector for vals[j].
+func jacobiEigen(a []float64, n int) (vals []float64, vecs []float64) {
+	m := make([]float64, n*n)
+	copy(m, a)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	return vals, v
+}
+
+// ranks assigns average ranks to the values (ties get the mean rank).
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		mean := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman computes the Spearman rank-correlation coefficient between two
+// equal-length samples (NaN-free). Used by the CPU/GPU correlation study.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 3 {
+		return 0, fmt.Errorf("stats: Spearman needs two equal samples of >= 3 points")
+	}
+	rx, ry := ranks(x), ranks(y)
+	mx, my := 0.0, 0.0
+	for i := range rx {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= float64(len(rx))
+	my /= float64(len(ry))
+	var num, dx, dy float64
+	for i := range rx {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, fmt.Errorf("stats: Spearman undefined for constant sample")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}

@@ -1,0 +1,311 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardize(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 10, 5}, {2, 20, 5}, {3, 30, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Standardize()
+	for j := 0; j < m.Cols; j++ {
+		sum := 0.0
+		for i := 0; i < m.Rows; i++ {
+			sum += m.At(i, j)
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("column %d mean %g after standardize", j, sum)
+		}
+	}
+	// Constant column must be zeroed, not NaN.
+	for i := 0; i < m.Rows; i++ {
+		if m.At(i, 2) != 0 {
+			t.Fatalf("constant column not zeroed: %g", m.At(i, 2))
+		}
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs := jacobiEigen([]float64{2, 1, 1, 2}, 2)
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues %v, want [3 1]", got)
+	}
+	// Eigenvectors must be orthonormal.
+	dot := vecs[0]*vecs[1] + vecs[2]*vecs[3]
+	if math.Abs(dot) > 1e-9 {
+		t.Fatalf("eigenvectors not orthogonal: %g", dot)
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points spread along (1,1) with small noise: PC1 ~ (1,1)/sqrt(2).
+	rows := [][]float64{}
+	for i := -10; i <= 10; i++ {
+		f := float64(i)
+		rows = append(rows, []float64{f + 0.01*float64(i%3), f - 0.01*float64(i%2)})
+	}
+	m, _ := FromRows(rows)
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eigenvalues[0] < p.Eigenvalues[1] {
+		t.Fatal("eigenvalues not sorted")
+	}
+	c0, c1 := p.Components.At(0, 0), p.Components.At(0, 1)
+	if math.Abs(math.Abs(c0)-math.Abs(c1)) > 0.05 {
+		t.Fatalf("PC1 = (%g, %g), want ~diagonal", c0, c1)
+	}
+	if got := p.VarianceExplained(1); got < 0.95 {
+		t.Fatalf("PC1 explains %.3f, want > 0.95", got)
+	}
+	if k := p.ComponentsFor(0.9); k != 1 {
+		t.Fatalf("ComponentsFor(0.9) = %d, want 1", k)
+	}
+}
+
+func TestPCAScoresReproduceDistances(t *testing.T) {
+	// Full-rank PCA is a rotation: pairwise distances of standardized
+	// data must be preserved in score space.
+	rows := [][]float64{
+		{1, 5, 2}, {2, 1, 9}, {0, 0, 1}, {4, 2, 2}, {3, 3, 3},
+	}
+	m, _ := FromRows(rows)
+	p, err := ComputePCA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(m.Rows, m.Cols)
+	copy(x.Data, m.Data)
+	x.Standardize()
+	d := func(mat *Matrix, a, b int) float64 {
+		s := 0.0
+		for c := 0; c < mat.Cols; c++ {
+			dd := mat.At(a, c) - mat.At(b, c)
+			s += dd * dd
+		}
+		return math.Sqrt(s)
+	}
+	for a := 0; a < m.Rows; a++ {
+		for b := a + 1; b < m.Rows; b++ {
+			if math.Abs(d(x, a, b)-d(p.Scores, a, b)) > 1e-6 {
+				t.Fatalf("distance (%d,%d) not preserved", a, b)
+			}
+		}
+	}
+}
+
+func TestHClusterGroupsObviousClusters(t *testing.T) {
+	// Two tight clusters far apart.
+	rows := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	labels := []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+	m, _ := FromRows(rows)
+	root, err := HCluster(m, labels, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Height < 5 {
+		t.Fatalf("root merge height %g, want the big gap", root.Height)
+	}
+	groups := CutHeight(root, 1.0)
+	if len(groups) != 2 {
+		t.Fatalf("cut produced %d groups, want 2: %v", len(groups), groups)
+	}
+	for _, g := range groups {
+		if len(g) != 3 {
+			t.Fatalf("unbalanced groups: %v", groups)
+		}
+	}
+}
+
+func TestHClusterLinkageRules(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {10}}
+	labels := []string{"a", "b", "c"}
+	m, _ := FromRows(rows)
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		root, err := HCluster(m, labels, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// a and b merge first at distance 1 under any linkage.
+		var first *DendroNode
+		if root.Left.Left != nil {
+			first = root.Left
+		} else {
+			first = root.Right
+		}
+		if first == nil || first.Height != 1 {
+			t.Fatalf("linkage %v: first merge height != 1", link)
+		}
+	}
+	// Root height differs by linkage: single = 9, complete = 10, avg = 9.5.
+	heights := map[Linkage]float64{SingleLinkage: 9, CompleteLinkage: 10, AverageLinkage: 9.5}
+	for link, want := range heights {
+		root, _ := HCluster(m, labels, link)
+		if math.Abs(root.Height-want) > 1e-9 {
+			t.Fatalf("linkage %v root height %g, want %g", link, root.Height, want)
+		}
+	}
+}
+
+func TestRenderDendrogram(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {10}}
+	m, _ := FromRows(rows)
+	root, _ := HCluster(m, []string{"alpha", "beta", "gamma"}, AverageLinkage)
+	out := RenderDendrogram(root, 60)
+	for _, l := range []string{"alpha", "beta", "gamma"} {
+		if !strings.Contains(out, l) {
+			t.Fatalf("dendrogram missing leaf %q:\n%s", l, out)
+		}
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") {
+		t.Fatalf("dendrogram has no structure:\n%s", out)
+	}
+}
+
+func TestPB12Properties(t *testing.T) {
+	d := PB12()
+	if len(d) != 12 || len(d[0]) != 11 {
+		t.Fatalf("design is %dx%d", len(d), len(d[0]))
+	}
+	// Balance: each column has six +1 and six -1.
+	for c := 0; c < 11; c++ {
+		sum := 0
+		for r := 0; r < 12; r++ {
+			sum += d[r][c]
+		}
+		if sum != 0 {
+			t.Fatalf("column %d unbalanced (sum %d)", c, sum)
+		}
+	}
+	// Orthogonality: any two columns agree on exactly half the runs.
+	for a := 0; a < 11; a++ {
+		for b := a + 1; b < 11; b++ {
+			dot := 0
+			for r := 0; r < 12; r++ {
+				dot += d[r][a] * d[r][b]
+			}
+			if dot != 0 {
+				t.Fatalf("columns %d,%d not orthogonal (dot %d)", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestPBEffectsRecoverPlantedModel(t *testing.T) {
+	// response = 10*f0 - 4*f2 + noiseless constant.
+	d := PB12()
+	resp := make([]float64, 12)
+	for r, row := range d {
+		resp[r] = 100 + 10*float64(row[0]) - 4*float64(row[2])
+	}
+	effects, err := PBEffects(d, resp, []string{"f0", "f1", "f2", "f3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(effects[0].Value-20) > 1e-9 {
+		t.Fatalf("f0 effect %g, want 20", effects[0].Value)
+	}
+	if math.Abs(effects[1].Value) > 1e-9 {
+		t.Fatalf("f1 effect %g, want 0", effects[1].Value)
+	}
+	if math.Abs(effects[2].Value+8) > 1e-9 {
+		t.Fatalf("f2 effect %g, want -8", effects[2].Value)
+	}
+	ranked := RankEffects(effects)
+	if ranked[0].Factor != "f0" || ranked[1].Factor != "f2" {
+		t.Fatalf("ranking wrong: %v", ranked)
+	}
+}
+
+func TestPBEffectsValidation(t *testing.T) {
+	d := PB12()
+	if _, err := PBEffects(d, make([]float64, 5), []string{"a"}); err == nil {
+		t.Fatal("mismatched responses accepted")
+	}
+	names := make([]string, 12)
+	if _, err := PBEffects(d, make([]float64, 12), names); err == nil {
+		t.Fatal("too many factors accepted")
+	}
+}
+
+// TestQuickPCAVarianceSums checks that eigenvalues sum to the total
+// standardized variance (= #non-constant features) for random matrices.
+func TestQuickPCAVarianceSums(t *testing.T) {
+	f := func(seed uint8) bool {
+		r := uint64(seed) + 1
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(r>>11) / (1 << 53)
+		}
+		rows := make([][]float64, 10)
+		for i := range rows {
+			rows[i] = []float64{next(), next(), next(), next()}
+		}
+		m, _ := FromRows(rows)
+		p, err := ComputePCA(m)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range p.Eigenvalues {
+			sum += v
+		}
+		// Standardized features each have variance n/(n-1) under the
+		// sample-covariance convention.
+		want := float64(m.Cols) * float64(m.Rows) / float64(m.Rows-1)
+		return math.Abs(sum-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Perfect monotone relation -> rho = 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 100, 1000, 10000, 100000}
+	rho, err := Spearman(x, y)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("rho = %v (%v), want 1", rho, err)
+	}
+	// Perfect inverse -> rho = -1.
+	y = []float64{5, 4, 3, 2, 1}
+	rho, _ = Spearman(x, y)
+	if math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+	// Ties are handled with average ranks.
+	rho, err = Spearman([]float64{1, 1, 2, 3}, []float64{2, 2, 4, 9})
+	if err != nil || rho < 0.9 {
+		t.Fatalf("tied rho = %v (%v), want ~1", rho, err)
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("short sample accepted")
+	}
+	if _, err := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant sample accepted")
+	}
+}

@@ -1,0 +1,320 @@
+package workloads
+
+import (
+	"repro/internal/trace"
+)
+
+// Parsec proxy workloads, part 1: Blackscholes, Bodytrack, Canneal, Dedup,
+// Facesim, Ferret. Each implements the application's algorithmic kernel
+// with representative data sizes, sharing patterns and code footprints
+// (Table V); problem sizes are scaled from sim-large where noted.
+
+// --- Blackscholes ---
+
+var wlBlackscholes = &Workload{
+	Name:   "blackscholes",
+	Suite:  "P",
+	Domain: "Financial Analysis",
+	Run:    runBlackscholes,
+}
+
+func runBlackscholes(h *trace.Harness) {
+	const n = 65536 // Table V: 65,536 options
+	spot := h.Alloc(n * 4)
+	strike := h.Alloc(n * 4)
+	rate := h.Alloc(n * 4)
+	vol := h.Alloc(n * 4)
+	tte := h.Alloc(n * 4)
+	price := h.Alloc(n * 4)
+	k := h.Code("bs_thread", 1400)
+
+	// Embarrassingly parallel PDE evaluation: stream the option arrays,
+	// heavy ALU per element (CNDF with exp/log), no sharing.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		lo, hi := chunk(n, tid, Threads)
+		for i := lo; i < hi; i++ {
+			off := uint64(i * 4)
+			c.Load(spot+off, 4)
+			c.Load(strike+off, 4)
+			c.Load(rate+off, 4)
+			c.Load(vol+off, 4)
+			c.Load(tte+off, 4)
+			c.ALU(55) // d1/d2, CNDF polynomial, exp/log
+			c.Branch(2)
+			c.Store(price+off, 4)
+		}
+	})
+}
+
+// --- Bodytrack ---
+
+var wlBodytrack = &Workload{
+	Name:   "bodytrack",
+	Suite:  "P",
+	Domain: "Computer Vision",
+	Run:    runBodytrack,
+}
+
+func runBodytrack(h *trace.Harness) {
+	const (
+		cameras        = 4
+		imgH, imgW     = 480, 640
+		particles      = 4000 // Table V: 4,000 particles
+		samplesPerBody = 48
+		frames         = 2
+	)
+	images := h.Alloc(cameras * imgH * imgW)
+	weights := h.Alloc(particles * 4)
+	state := h.Alloc(particles * 10 * 4)
+	k := h.Code("bt_particle_weights", 9000)
+
+	r := newLCG(7)
+	for f := 0; f < frames; f++ {
+		// Particle likelihood: every particle projects its pose into all
+		// camera images (shared, scattered reads) and scores edge/fg maps.
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k)
+			lo, hi := chunk(particles, tid, Threads)
+			rp := newLCG(uint64(tid)*77 + uint64(f))
+			for p := lo; p < hi; p++ {
+				c.Load(state+uint64(p*40), 16)
+				c.Load(state+uint64(p*40+16), 16)
+				c.ALU(60) // pose projection
+				for cam := 0; cam < cameras; cam++ {
+					base := images + uint64(cam*imgH*imgW)
+					for s := 0; s < samplesPerBody; s++ {
+						y, x := rp.intn(imgH), rp.intn(imgW)
+						c.Load(base+uint64(y*imgW+x), 1)
+						c.ALU(5)
+					}
+					c.Branch(2)
+				}
+				c.Store(weights+uint64(p*4), 4)
+				c.Branch(1)
+			}
+		})
+		// Serial resampling.
+		h.Serial(func(c *trace.Ctx) {
+			c.At(k)
+			for p := 0; p < particles; p++ {
+				c.Load(weights+uint64(p*4), 4)
+				c.ALU(3)
+				if r.intn(4) == 0 {
+					c.Store(state+uint64(p*40), 16)
+				}
+			}
+		})
+	}
+}
+
+// --- Canneal ---
+
+var wlCanneal = &Workload{
+	Name:   "canneal",
+	Suite:  "P",
+	Domain: "Engineering",
+	Run:    runCanneal,
+}
+
+func runCanneal(h *trace.Harness) {
+	const (
+		elements = 400000 // Table V: 400,000 elements
+		swaps    = 40000  // per thread
+		fanout   = 4
+	)
+	netlist := h.Alloc(elements * 16) // element: location + net pointers
+	locs := h.Alloc(elements * 8)
+	k := h.Code("cn_swap_cost", 3000)
+
+	// Simulated annealing: each thread repeatedly picks two random
+	// elements, evaluates the swap by reading both elements' net
+	// neighbors (scattered reads over the whole netlist — huge working
+	// set), and commits the swap (shared writes). This is the classic
+	// cache-hostile Parsec workload.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		r := newLCG(uint64(tid)*13 + 5)
+		for s := 0; s < swaps; s++ {
+			a, b := r.intn(elements), r.intn(elements)
+			c.Load(netlist+uint64(a*16), 16)
+			c.Load(netlist+uint64(b*16), 16)
+			for f := 0; f < fanout; f++ {
+				na, nb := r.intn(elements), r.intn(elements)
+				c.Load(locs+uint64(na*8), 8)
+				c.Load(locs+uint64(nb*8), 8)
+				c.ALU(10) // routing-cost delta
+			}
+			c.Branch(2)
+			if r.intn(2) == 0 { // accept
+				c.Store(locs+uint64(a*8), 8)
+				c.Store(locs+uint64(b*8), 8)
+			}
+		}
+	})
+}
+
+// --- Dedup ---
+
+var wlDedup = &Workload{
+	Name:   "dedup",
+	Suite:  "P",
+	Domain: "Enterprise Storage",
+	Run:    runDedup,
+}
+
+func runDedup(h *trace.Harness) {
+	const (
+		streamMB  = 8 // Table V: 184 MB; scaled
+		stream    = streamMB << 20
+		hashSlots = 1 << 16
+		avgChunk  = 4096
+	)
+	data := h.Alloc(stream)
+	table := h.Alloc(hashSlots * 32)
+	kc := h.Code("dedup_chunk", 2600)
+	kh := h.Code("dedup_hash_compress", 9400)
+
+	// Pipelined compression: segments are chunked with a rolling hash,
+	// chunks are fingerprinted and inserted into a shared hash table,
+	// duplicates skip the compression stage.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		lo, hi := chunk(stream, tid, Threads)
+		r := newLCG(uint64(tid) + 31)
+		pos := lo
+		for pos < hi {
+			c.At(kc)
+			end := pos + avgChunk/2 + r.intn(avgChunk)
+			if end > hi {
+				end = hi
+			}
+			// Rolling hash over the chunk (16-byte strides).
+			for p := pos; p < end; p += 16 {
+				c.Load(data+uint64(p), 16)
+				c.ALU(6)
+			}
+			c.Branch(3)
+			c.At(kh)
+			// Fingerprint + shared hash-table probe/insert.
+			slot := r.intn(hashSlots)
+			c.Load(table+uint64(slot*32), 32)
+			c.ALU(40)
+			if r.intn(4) != 0 { // ~75% unique: compress and insert
+				for p := pos; p < end; p += 32 {
+					c.Load(data+uint64(p), 16)
+					c.ALU(10)
+				}
+				c.Store(table+uint64(slot*32), 32)
+			}
+			c.Branch(2)
+			pos = end
+		}
+	})
+}
+
+// --- Facesim ---
+
+var wlFacesim = &Workload{
+	Name:   "facesim",
+	Suite:  "P",
+	Domain: "Animation",
+	Run:    runFacesim,
+}
+
+func runFacesim(h *trace.Harness) {
+	const (
+		tets  = 80000 // Table V: 372,126 tetrahedra; scaled
+		verts = tets / 2
+	)
+	r := newLCG(3)
+	conn := make([]int32, tets*4)
+	for i := range conn {
+		// Mostly local connectivity with some long-range fibers.
+		base := (i / 4) / 2
+		if r.intn(8) == 0 {
+			conn[i] = int32(r.intn(verts))
+		} else {
+			conn[i] = int32((base + r.intn(64)) % verts)
+		}
+	}
+	pos := h.Alloc(verts * 24)
+	force := h.Alloc(verts * 24)
+	connA := h.Alloc(tets * 16)
+	k := h.Code("fs_update_position_based_state", 22000)
+
+	// FEM force computation: gather four vertex positions per element,
+	// dense per-element math, scatter-add forces (shared writes at
+	// partition boundaries and along fibers).
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		lo, hi := chunk(tets, tid, Threads)
+		for t := lo; t < hi; t++ {
+			c.Load(connA+uint64(t*16), 16)
+			for v := 0; v < 4; v++ {
+				c.Load(pos+uint64(int(conn[t*4+v])*24), 24)
+			}
+			c.ALU(140) // strain/stress tensors
+			for v := 0; v < 4; v++ {
+				vi := int(conn[t*4+v])
+				c.Load(force+uint64(vi*24), 24)
+				c.ALU(6)
+				c.Store(force+uint64(vi*24), 24)
+			}
+			c.Branch(1)
+		}
+	})
+	// Serial position integration.
+	h.Serial(func(c *trace.Ctx) {
+		c.At(k)
+		for v := 0; v < verts; v += 2 {
+			c.Load(force+uint64(v*24), 24)
+			c.Load(pos+uint64(v*24), 24)
+			c.ALU(12)
+			c.Store(pos+uint64(v*24), 24)
+		}
+	})
+}
+
+// --- Ferret ---
+
+var wlFerret = &Workload{
+	Name:   "ferret",
+	Suite:  "P",
+	Domain: "Similarity Search",
+	Run:    runFerret,
+}
+
+func runFerret(h *trace.Harness) {
+	const (
+		queries = 256 // Table V: 256 queries
+		dbSize  = 16384
+		dims    = 16
+		probes  = 2048 // candidate set scanned per query
+	)
+	db := h.Alloc(dbSize * dims * 4)
+	qv := h.Alloc(queries * dims * 4)
+	ranks := h.Alloc(queries * 64)
+	kSeg := h.Code("ferret_seg_extract", 14000)
+	kRank := h.Code("ferret_rank", 8200)
+
+	// Pipelined similarity search: segmentation/extraction per query,
+	// then a scan of a shared feature database with top-k ranking.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		r := newLCG(uint64(tid)*19 + 1)
+		lo, hi := chunk(queries, tid, Threads)
+		for q := lo; q < hi; q++ {
+			c.At(kSeg)
+			c.Load(qv+uint64(q*dims*4), 64)
+			c.ALU(400) // segmentation + feature extraction
+			c.Branch(8)
+			c.At(kRank)
+			for p := 0; p < probes; p++ {
+				img := r.intn(dbSize)
+				c.Load(db+uint64(img*dims*4), 64) // shared DB read
+				c.ALU(2 * dims)
+				c.Branch(1)
+			}
+			c.Store(ranks+uint64(q*64), 64)
+		}
+	})
+}

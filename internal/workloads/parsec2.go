@@ -1,0 +1,310 @@
+package workloads
+
+import (
+	"repro/internal/trace"
+)
+
+// Parsec proxy workloads, part 2: Fluidanimate, Freqmine, Raytrace,
+// Swaptions, Vips, X264.
+
+// --- Fluidanimate ---
+
+var wlFluidanimate = &Workload{
+	Name:   "fluidanimate",
+	Suite:  "P",
+	Domain: "Animation",
+	Run:    runFluidanimate,
+}
+
+func runFluidanimate(h *trace.Harness) {
+	const (
+		particles = 32768 // Table V: 300,000 particles; scaled
+		cells     = 32 * 32 * 8
+		perCell   = particles / cells
+		neighbors = 14
+	)
+	posA := h.Alloc(particles * 16)
+	velA := h.Alloc(particles * 16)
+	denA := h.Alloc(particles * 4)
+	cellA := h.Alloc(cells * 8)
+	k := h.Code("fa_compute_forces", 7800)
+
+	r := newLCG(11)
+	// SPH: per particle, visit neighbor-cell particles (reads crossing
+	// the spatial partition boundary are the sharing), accumulate
+	// density/forces, integrate.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		lo, hi := chunk(particles, tid, Threads)
+		rp := newLCG(uint64(tid) + 23)
+		for p := lo; p < hi; p++ {
+			c.Load(posA+uint64(p*16), 16)
+			c.Load(cellA+uint64((p/perCell)*8), 8)
+			for nb := 0; nb < neighbors; nb++ {
+				// Neighbors are spatially near: mostly same partition,
+				// sometimes across.
+				q := p + rp.intn(2*perCell) - perCell
+				if q < 0 || q >= particles {
+					continue
+				}
+				c.Load(posA+uint64(q*16), 16)
+				c.ALU(22) // kernel weight + force
+				c.Branch(1)
+			}
+			c.Load(velA+uint64(p*16), 16)
+			c.ALU(18)
+			c.Store(velA+uint64(p*16), 16)
+			c.Store(denA+uint64(p*4), 4)
+			c.Branch(1)
+		}
+	})
+	_ = r
+}
+
+// --- Freqmine ---
+
+var wlFreqmine = &Workload{
+	Name:   "freqmine",
+	Suite:  "P",
+	Domain: "Data Mining",
+	Run:    runFreqmine,
+}
+
+func runFreqmine(h *trace.Harness) {
+	const (
+		transactions = 80000 // Table V: 990,000 transactions; scaled
+		itemsPerTx   = 6
+		trieNodes    = 1 << 18
+		items        = 1000
+	)
+	txA := h.Alloc(transactions * itemsPerTx * 2)
+	counts := h.Alloc(items * 4)
+	trie := h.Alloc(trieNodes * 24)
+	k := h.Code("fp_growth_insert", 11000)
+
+	// FP-growth: count items, then insert transactions into a shared
+	// prefix tree — pointer chasing with shared counter updates.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		r := newLCG(uint64(tid) * 101)
+		lo, hi := chunk(transactions, tid, Threads)
+		for t := lo; t < hi; t++ {
+			node := 0
+			c.Load(txA+uint64(t*itemsPerTx*2), 16)
+			for i := 0; i < itemsPerTx; i++ {
+				item := r.intn(items)
+				c.Load(counts+uint64(item*4), 4)
+				c.Store(counts+uint64(item*4), 4)
+				// Descend/insert in the shared trie.
+				node = (node*31 + item + 1) % trieNodes
+				c.Load(trie+uint64(node*24), 24)
+				c.ALU(8)
+				c.Branch(2)
+				c.Store(trie+uint64(node*24), 8)
+			}
+		}
+	})
+}
+
+// --- Raytrace ---
+
+var wlRaytrace = &Workload{
+	Name:   "raytrace",
+	Suite:  "P",
+	Domain: "Rendering",
+	Run:    runRaytrace,
+}
+
+func runRaytrace(h *trace.Harness) {
+	const (
+		imgH, imgW = 120, 160
+		spheres    = 16
+		bounces    = 2
+	)
+	scene := h.Alloc(spheres * 48)
+	fb := h.Alloc(imgH * imgW * 4)
+	bvh := h.Alloc(spheres * 2 * 32)
+	k := h.Code("rt_trace_ray", 16000)
+
+	// Whitted ray tracing: rows partitioned; every ray walks the shared
+	// BVH/sphere list (read-shared, cache-resident) with heavy ALU.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		lo, hi := chunk(imgH, tid, Threads)
+		for y := lo; y < hi; y++ {
+			for x := 0; x < imgW; x++ {
+				for b := 0; b < bounces; b++ {
+					for s := 0; s < spheres; s++ {
+						c.Load(bvh+uint64(s*64), 32)
+						c.Load(scene+uint64(s*48), 48)
+						c.ALU(24) // ray-sphere intersection (sqrt)
+						c.Branch(1)
+					}
+					c.ALU(40) // shading
+					c.Branch(1)
+				}
+				c.Store(fb+uint64((y*imgW+x)*4), 4)
+			}
+		}
+	})
+}
+
+// --- Swaptions ---
+
+var wlSwaptions = &Workload{
+	Name:   "swaptions",
+	Suite:  "P",
+	Domain: "Financial Analysis",
+	Run:    runSwaptions,
+}
+
+func runSwaptions(h *trace.Harness) {
+	const (
+		swaptions = 64 // Table V: 64 swaptions
+		sims      = 320
+		steps     = 20
+	)
+	params := h.Alloc(swaptions * 64)
+	path := h.Alloc(Threads * steps * 8)
+	prices := h.Alloc(swaptions * 8)
+	k := h.Code("hjm_simulate", 5200)
+
+	// HJM Monte-Carlo: swaptions partitioned across threads; each
+	// simulation evolves a small private rate path — tiny working set,
+	// almost no sharing, ALU-dominated.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(k)
+		lo, hi := chunk(swaptions, tid, Threads)
+		priv := path + uint64(tid*steps*8)
+		for sw := lo; sw < hi; sw++ {
+			c.Load(params+uint64(sw*64), 64)
+			for s := 0; s < sims; s++ {
+				for st := 0; st < steps; st++ {
+					c.Load(priv+uint64(st*8), 8)
+					c.ALU(28) // drift + vol + RNG (exp/log)
+					c.Store(priv+uint64(st*8), 8)
+				}
+				c.ALU(10)
+				c.Branch(1)
+			}
+			c.Store(prices+uint64(sw*8), 8)
+			c.Branch(1)
+		}
+	})
+}
+
+// --- Vips ---
+
+var wlVips = &Workload{
+	Name:   "vips",
+	Suite:  "P",
+	Domain: "Media Processing",
+	Run:    runVips,
+}
+
+func runVips(h *trace.Harness) {
+	const (
+		imgH, imgW = 512, 1024 // Table V: 26,625,500 pixels; scaled
+	)
+	src := h.Alloc(imgH * imgW * 4)
+	tmp := h.Alloc(imgH * imgW * 4)
+	dst := h.Alloc(imgH * imgW * 4)
+	kConv := h.Code("vips_conv", 26000)
+	kAffine := h.Code("vips_affine", 19000)
+
+	// Image pipeline: separable convolution then affine resample, rows
+	// partitioned, streaming through a multi-megabyte image.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(kConv)
+		lo, hi := chunk(imgH, tid, Threads)
+		for y := lo; y < hi; y++ {
+			for x := 0; x < imgW; x += 4 {
+				base := uint64((y*imgW + x) * 4)
+				c.Load(src+base, 16)
+				if y > 0 {
+					c.Load(src+base-uint64(imgW*4), 16)
+				}
+				if y < imgH-1 {
+					c.Load(src+base+uint64(imgW*4), 16)
+				}
+				c.ALU(9 * 4) // 3x3 kernel
+				c.Store(tmp+base, 16)
+				c.Branch(1)
+			}
+		}
+	})
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(kAffine)
+		lo, hi := chunk(imgH, tid, Threads)
+		for y := lo; y < hi; y++ {
+			for x := 0; x < imgW; x += 4 {
+				// Affine source coordinates: slightly sheared rows.
+				sy := (y*31 + x/8) % imgH
+				c.Load(tmp+uint64((sy*imgW+x)*4), 16)
+				c.ALU(12 * 4) // bilinear weights
+				c.Store(dst+uint64((y*imgW+x)*4), 16)
+				c.Branch(1)
+			}
+		}
+	})
+}
+
+// --- X264 ---
+
+var wlX264 = &Workload{
+	Name:   "x264",
+	Suite:  "P",
+	Domain: "Media Processing",
+	Run:    runX264,
+}
+
+func runX264(h *trace.Harness) {
+	const (
+		frames     = 6 // Table V: 128 frames, 640x360; scaled
+		imgH, imgW = 180, 320
+		mb         = 16
+		searchPts  = 32
+	)
+	ref := h.Alloc(imgH * imgW)
+	cur := h.Alloc(imgH * imgW)
+	mvs := h.Alloc((imgH / mb) * (imgW / mb) * 8)
+	k := h.Code("x264_me_search", 34000)
+
+	for f := 0; f < frames; f++ {
+		// Motion estimation: macroblock rows partitioned; every block
+		// searches the shared reference frame with early-exit SAD loops
+		// (the branchy hot path of an encoder).
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k)
+			r := newLCG(uint64(tid)*7 + uint64(f))
+			// Macroblock rows are handed out round-robin, as x264's
+			// dynamic scheduling does.
+			for by := tid; by < imgH/mb; by += Threads {
+				for bx := 0; bx < imgW/mb; bx++ {
+					for cand := 0; cand < searchPts; cand++ {
+						dy := r.intn(2*8+1) - 8
+						dx := r.intn(2*8+1) - 8
+						rows := 4 + r.intn(mb-3) // early exit depth
+						for row := 0; row < rows; row++ {
+							y := by*mb + row
+							ry := y + dy
+							if ry < 0 || ry >= imgH {
+								continue
+							}
+							rx := bx*mb + dx
+							if rx < 0 {
+								rx = 0
+							}
+							c.Load(cur+uint64(y*imgW+bx*mb), 16)
+							c.Load(ref+uint64(ry*imgW+rx), 16)
+							c.ALU(20) // SAD
+							c.Branch(1)
+						}
+						c.Branch(1)
+					}
+					c.Store(mvs+uint64((by*(imgW/mb)+bx)*8), 8)
+				}
+			}
+		})
+	}
+}

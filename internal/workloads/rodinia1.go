@@ -1,0 +1,403 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Rodinia OpenMP workloads, part 1: Back Propagation, BFS, CFD, Heartwall,
+// HotSpot, Kmeans. Each mirrors the parallel decomposition of the Rodinia
+// OpenMP source (static row/element partitioning over 8 threads) and
+// reports its real access pattern through the trace API.
+
+// --- Back Propagation ---
+
+var wlBackprop = &Workload{
+	Name:   "backprop",
+	Suite:  "R",
+	Domain: "Pattern Recognition",
+	Run:    runBackprop,
+}
+
+func runBackprop(h *trace.Harness) {
+	const (
+		n   = 65536 // paper: 65536 input nodes
+		hid = 16
+	)
+	input := h.Alloc(n * 4)
+	weights := h.Alloc(n * hid * 4)
+	oldw := h.Alloc(n * hid * 4)
+	delta := h.Alloc(hid * 4)
+	partial := h.Alloc(Threads * hid * 8)
+	fwd := h.Code("bpnn_layerforward", 220)
+	adj := h.Code("bpnn_adjust_weights", 180)
+
+	// Forward: partial[t][j] += x[i]*w[i][j], rows partitioned.
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(fwd)
+		lo, hi := chunk(n, tid, Threads)
+		for i := lo; i < hi; i++ {
+			c.Load(input+uint64(i*4), 4)
+			// w[i][0..15]: four 16-byte vector loads.
+			for v := 0; v < hid/4; v++ {
+				c.Load(weights+uint64((i*hid+v*4)*4), 16)
+			}
+			c.ALU(2 * hid) // multiply-accumulate
+			c.Store(partial+uint64((tid*hid)*8), 16)
+			c.Branch(1)
+		}
+	})
+	// Serial: combine partials, sigmoid, deltas.
+	h.Serial(func(c *trace.Ctx) {
+		c.At(fwd)
+		for t := 0; t < Threads; t++ {
+			for j := 0; j < hid; j++ {
+				c.Load(partial+uint64((t*hid+j)*8), 8)
+				c.ALU(1)
+			}
+		}
+		for j := 0; j < hid; j++ {
+			c.ALU(12) // sigmoid + delta
+			c.Store(delta+uint64(j*4), 4)
+		}
+	})
+	// Adjust weights: w[i][j] += eta*delta[j]*x[i] + momentum*oldw[i][j].
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(adj)
+		lo, hi := chunk(n, tid, Threads)
+		for i := lo; i < hi; i++ {
+			c.Load(input+uint64(i*4), 4)
+			for v := 0; v < hid/4; v++ {
+				off := uint64((i*hid + v*4) * 4)
+				c.Load(delta+uint64(v*16), 16) // shared read
+				c.Load(weights+off, 16)
+				c.Load(oldw+off, 16)
+				c.ALU(12)
+				c.Store(weights+off, 16)
+				c.Store(oldw+off, 16)
+			}
+			c.Branch(1)
+		}
+	})
+}
+
+// --- Breadth-First Search ---
+
+var wlBFS = &Workload{
+	Name:   "bfs",
+	Suite:  "R",
+	Domain: "Graph Algorithms",
+	Run:    runBFS,
+}
+
+func runBFS(h *trace.Harness) {
+	const (
+		n      = 65536 // paper: 1,000,000 nodes
+		degree = 5
+	)
+	r := newLCG(42)
+	starts := make([]int32, n+1)
+	var edges []int32
+	for i := 0; i < n; i++ {
+		starts[i] = int32(len(edges))
+		edges = append(edges, int32((i+1)%n))
+		d := 1 + r.intn(degree)
+		for j := 0; j < d; j++ {
+			edges = append(edges, int32(r.intn(n)))
+		}
+	}
+	starts[n] = int32(len(edges))
+
+	nodesA := h.Alloc((n + 1) * 4)
+	edgesA := h.Alloc(len(edges) * 4)
+	maskA := h.Alloc(n)
+	upA := h.Alloc(n)
+	visA := h.Alloc(n)
+	costA := h.Alloc(n * 4)
+	k1 := h.Code("bfs_expand", 160)
+	k2 := h.Code("bfs_commit", 90)
+
+	mask := make([]bool, n)
+	up := make([]bool, n)
+	vis := make([]bool, n)
+	cost := make([]int32, n)
+	mask[0], vis[0] = true, true
+
+	for frontier := true; frontier; {
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k1)
+			lo, hi := chunk(n, tid, Threads)
+			for i := lo; i < hi; i++ {
+				c.Load(maskA+uint64(i), 1)
+				c.ALU(2)
+				c.Branch(1)
+				if !mask[i] {
+					continue
+				}
+				mask[i] = false
+				c.Store(maskA+uint64(i), 1)
+				c.Load(nodesA+uint64(i*4), 8) // start & end
+				c.Load(costA+uint64(i*4), 4)
+				for e := starts[i]; e < starts[i+1]; e++ {
+					c.Load(edgesA+uint64(e*4), 4)
+					nb := edges[e]
+					c.Load(visA+uint64(nb), 1)
+					c.ALU(3)
+					c.Branch(1)
+					if !vis[nb] {
+						cost[nb] = cost[i] + 1
+						c.ALU(1)
+						c.Store(costA+uint64(nb*4), 4)
+						up[nb] = true
+						c.Store(upA+uint64(nb), 1)
+					}
+				}
+			}
+		})
+		frontier = false
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k2)
+			lo, hi := chunk(n, tid, Threads)
+			for i := lo; i < hi; i++ {
+				c.Load(upA+uint64(i), 1)
+				c.ALU(1)
+				c.Branch(1)
+				if up[i] {
+					up[i] = false
+					mask[i], vis[i] = true, true
+					c.Store(upA+uint64(i), 1)
+					c.Store(maskA+uint64(i), 1)
+					c.Store(visA+uint64(i), 1)
+					frontier = true
+				}
+			}
+		})
+	}
+}
+
+// --- CFD Solver ---
+
+var wlCFD = &Workload{
+	Name:   "cfd",
+	Suite:  "R",
+	Domain: "Fluid Dynamics",
+	Run:    runCFD,
+}
+
+func runCFD(h *trace.Harness) {
+	const (
+		nel  = 49152 // paper: 97k elements
+		nvar = 5
+		nnb  = 4
+	)
+	r := newLCG(13)
+	// Shuffled element numbering: scattered neighbor gathers.
+	nbrs := make([]int32, nel*nnb)
+	for i := range nbrs {
+		nbrs[i] = int32(r.intn(nel))
+	}
+	vars := h.Alloc(nel * nvar * 4)
+	fluxes := h.Alloc(nel * nvar * 4)
+	nbrA := h.Alloc(nel * nnb * 4)
+	normA := h.Alloc(nel * nnb * 3 * 4)
+	kf := h.Code("cfd_compute_flux", 600)
+	kt := h.Code("cfd_time_step", 120)
+
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(kf)
+		lo, hi := chunk(nel, tid, Threads)
+		for i := lo; i < hi; i++ {
+			// Own state (5 f32) and primitives.
+			c.Load(vars+uint64(i*nvar*4), 16)
+			c.Load(vars+uint64((i*nvar+4)*4), 4)
+			c.ALU(20)
+			for j := 0; j < nnb; j++ {
+				c.Load(nbrA+uint64((i*nnb+j)*4), 4)
+				c.Load(normA+uint64((i*nnb+j)*12), 12)
+				nb := int(nbrs[i*nnb+j])
+				// Scattered neighbor gather.
+				c.Load(vars+uint64(nb*nvar*4), 16)
+				c.Load(vars+uint64((nb*nvar+4)*4), 4)
+				c.ALU(60) // flux math incl. sqrt
+				c.Branch(1)
+			}
+			c.Store(fluxes+uint64(i*nvar*4), 16)
+			c.Store(fluxes+uint64((i*nvar+4)*4), 4)
+			c.Branch(1)
+		}
+	})
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(kt)
+		lo, hi := chunk(nel, tid, Threads)
+		for i := lo; i < hi; i++ {
+			c.Load(vars+uint64(i*nvar*4), 16)
+			c.Load(fluxes+uint64(i*nvar*4), 16)
+			c.ALU(10)
+			c.Store(vars+uint64(i*nvar*4), 16)
+			c.Branch(1)
+		}
+	})
+}
+
+// --- Heart Wall Tracking ---
+
+var wlHeartwall = &Workload{
+	Name:   "heartwall",
+	Suite:  "R",
+	Domain: "Medical Imaging",
+	Run:    runHeartwall,
+}
+
+func runHeartwall(h *trace.Harness) {
+	const (
+		frameH, frameW = 256, 256
+		points         = 51 // paper point count
+		win            = 11
+		tpl            = 4
+		frames         = 2
+	)
+	frame := h.Alloc(frameH * frameW * 4)
+	tpls := h.Alloc(points * tpl * tpl * 4)
+	pts := h.Alloc(points * 8)
+	k := h.Code("heartwall_track", 900)
+
+	py := make([]int, points)
+	px := make([]int, points)
+	for i := range py {
+		th := 2 * math.Pi * float64(i) / points
+		py[i] = frameH/2 + int(60*math.Sin(th))
+		px[i] = frameW/2 + int(60*math.Cos(th))
+	}
+
+	for f := 0; f < frames; f++ {
+		// Braided parallelism: threads take whole tracking points (tasks).
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k)
+			for p := tid; p < points; p += Threads {
+				c.Load(pts+uint64(p*8), 8)
+				// The point's template is loaded once and held in
+				// registers; the search loop re-reads only the shared
+				// frame, which is why nearly every Heartwall reference
+				// hits data shared by all threads.
+				for ty := 0; ty < tpl; ty++ {
+					c.Load(tpls+uint64((p*tpl+ty)*tpl*4), 16)
+				}
+				for o := 0; o < win*win; o++ {
+					oy, ox := o/win-win/2, o%win-win/2
+					for ty := 0; ty < tpl; ty++ {
+						yy := py[p] + oy + ty - tpl/2
+						xx := px[p] + ox - tpl/2
+						if yy < 0 || yy >= frameH || xx < 0 {
+							c.ALU(2)
+							continue
+						}
+						c.Load(frame+uint64((yy*frameW+xx)*4), 16)
+						c.ALU(3 * tpl)
+					}
+					c.Branch(2)
+				}
+				c.ALU(win * win) // argmin scan
+				c.Store(pts+uint64(p*8), 8)
+				c.Branch(1)
+			}
+		})
+	}
+}
+
+// --- HotSpot ---
+
+var wlHotspot = &Workload{
+	Name:   "hotspot",
+	Suite:  "R",
+	Domain: "Physics Simulation",
+	Run:    runHotspot,
+}
+
+func runHotspot(h *trace.Harness) {
+	const (
+		n     = 512 // paper: 500x500
+		iters = 4
+	)
+	tempA := h.Alloc(n * n * 4)
+	tempB := h.Alloc(n * n * 4)
+	power := h.Alloc(n * n * 4)
+	k := h.Code("hotspot_kernel", 260)
+
+	src, dst := tempA, tempB
+	for it := 0; it < iters; it++ {
+		h.Parallel(func(tid int, c *trace.Ctx) {
+			c.At(k)
+			lo, hi := chunk(n, tid, Threads)
+			for y := lo; y < hi; y++ {
+				for x := 0; x < n; x += 4 {
+					base := uint64((y*n + x) * 4)
+					c.Load(src+base, 16) // center (E/W come from the vector)
+					if y > 0 {
+						c.Load(src+base-uint64(n*4), 16) // north
+					}
+					if y < n-1 {
+						c.Load(src+base+uint64(n*4), 16) // south
+					}
+					c.Load(power+base, 16)
+					c.ALU(14 * 4)
+					c.Store(dst+base, 16)
+					c.Branch(1)
+				}
+			}
+		})
+		src, dst = dst, src
+	}
+}
+
+// --- Kmeans ---
+
+var wlKmeans = &Workload{
+	Name:   "kmeans",
+	Suite:  "R",
+	Domain: "Data Mining",
+	Run:    runKmeans,
+}
+
+func runKmeans(h *trace.Harness) {
+	const (
+		n  = 16384 // paper: 204800 points
+		nf = 34
+		k  = 5
+	)
+	feat := h.Alloc(n * nf * 4)
+	centers := h.Alloc(k * nf * 4)
+	member := h.Alloc(n * 4)
+	kc := h.Code("kmeans_assign", 300)
+
+	h.Parallel(func(tid int, c *trace.Ctx) {
+		c.At(kc)
+		lo, hi := chunk(n, tid, Threads)
+		for p := lo; p < hi; p++ {
+			for cl := 0; cl < k; cl++ {
+				for v := 0; v < nf; v += 4 {
+					c.Load(feat+uint64((p*nf+v)*4), 16)
+					c.Load(centers+uint64((cl*nf+v)*4), 16) // shared read
+					c.ALU(12)
+				}
+				c.ALU(3)
+				c.Branch(1)
+			}
+			c.Store(member+uint64(p*4), 4)
+			c.Branch(1)
+		}
+	})
+	// Serial center recomputation (as the Rodinia host code does).
+	h.Serial(func(c *trace.Ctx) {
+		c.At(kc)
+		for p := 0; p < n; p += 8 {
+			c.Load(member+uint64(p*4), 4)
+			c.Load(feat+uint64(p*nf*4), 16)
+			c.ALU(8)
+		}
+		for i := 0; i < k*nf; i += 4 {
+			c.Store(centers+uint64(i*4), 16)
+			c.ALU(4)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package workloads implements the CPU-side programs of the suite
+// comparison (Section IV): the twelve Rodinia OpenMP implementations and
+// algorithmic proxies for the thirteen Parsec applications, all written
+// against the internal/trace instrumentation API (the Pin stand-in).
+//
+// Every workload runs the real algorithm on real data; the instrumentation
+// reports each load/store with its modeled address, plus ALU and branch
+// instruction counts, so instruction mix, working sets, sharing behavior
+// and footprints emerge from genuine access patterns. Problem sizes are
+// scaled from the paper's (Table I / Table V) where noted to keep trace
+// volume tractable; EXPERIMENTS.md records each scaling.
+package workloads
+
+import "repro/internal/trace"
+
+// Workload is one instrumented program.
+type Workload struct {
+	Name   string // figure label, e.g. "srad"
+	Suite  string // "R", "P", or "R,P" (StreamCluster is in both suites)
+	Domain string
+	Run    func(h *trace.Harness)
+}
+
+// Label renders the dendrogram leaf label, e.g. "srad(R)".
+func (w *Workload) Label() string { return w.Name + "(" + w.Suite + ")" }
+
+// Threads is the core count of the Bienia et al. methodology.
+const Threads = 8
+
+// Rodinia returns the Rodinia OpenMP workloads in figure order.
+func Rodinia() []*Workload {
+	return []*Workload{
+		wlBackprop, wlBFS, wlCFD, wlHeartwall, wlHotspot, wlKmeans,
+		wlLeukocyte, wlLUD, wlMummer, wlNW, wlSRAD, wlStreamCluster,
+	}
+}
+
+// Parsec returns the Parsec workloads (proxies) in Table V order plus
+// raytrace, which appears in Figure 6.
+func Parsec() []*Workload {
+	return []*Workload{
+		wlBlackscholes, wlBodytrack, wlCanneal, wlDedup, wlFacesim,
+		wlFerret, wlFluidanimate, wlFreqmine, wlRaytrace,
+		wlStreamCluster, wlSwaptions, wlVips, wlX264,
+	}
+}
+
+// All returns every distinct workload exactly once (StreamCluster is
+// shared between the suites).
+func All() []*Workload {
+	seen := map[*Workload]bool{}
+	var out []*Workload
+	for _, w := range append(Rodinia(), Parsec()...) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload by its figure label name.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// lcg is a tiny deterministic generator for workload inputs.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+func (r *lcg) float() float64 { return float64(r.next()%(1<<53)) / (1 << 53) }
+
+// chunk returns the [lo, hi) range of item space n owned by thread tid of
+// nt threads (block partitioning, as OpenMP static scheduling would).
+func chunk(n, tid, nt int) (int, int) {
+	per := (n + nt - 1) / nt
+	lo := tid * per
+	hi := lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
