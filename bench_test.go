@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -88,6 +90,36 @@ func BenchmarkCorrelate(b *testing.B) { benchExperiment(b, "correlate") }
 
 // BenchmarkConcurrentKernels regenerates the simultaneous-kernel study.
 func BenchmarkConcurrentKernels(b *testing.B) { benchExperiment(b, "conc") }
+
+// --- Full-sweep wall clock at 1 and N experiment workers ---
+
+// BenchmarkFullSweep runs the complete experiment set through the
+// concurrent runner on a fresh (uncached) context per iteration, at one
+// worker and at GOMAXPROCS workers, so BENCH_*.json tracks the speedup
+// the -parallel flag buys on the host. On a single-core machine the two
+// sub-benchmarks coincide; the speedup materializes from 2 cores up.
+func BenchmarkFullSweep(b *testing.B) {
+	sweep := func(b *testing.B, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			fresh := experiments.NewContext()
+			fresh.Check = false
+			for _, o := range experiments.RunConcurrent(fresh, experiments.All(), workers, nil) {
+				if o.Err != nil {
+					b.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+				}
+				if o.Result == nil || o.Result.Text == "" {
+					b.Fatalf("%s produced no artifact", o.Experiment.ID)
+				}
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { sweep(b, 1) })
+	n := runtime.GOMAXPROCS(0)
+	if n > 1 {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) { sweep(b, n) })
+	}
+}
 
 // --- Per-benchmark GPU simulation throughput ---
 

@@ -7,6 +7,12 @@
 //	experiments -list        # list experiment ids
 //	experiments -nocheck     # skip functional validation of GPU kernels
 //	experiments -out results # also write one <id>.txt per artifact
+//	experiments -parallel 0  # fan out across GOMAXPROCS workers
+//
+// With -parallel, independent experiments run concurrently on a shared
+// context whose singleflight memoization still executes each underlying
+// characterization exactly once; output streams in paper order as soon
+// as each experiment (and all its predecessors) finishes.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
 	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
+	parallel := flag.Int("parallel", 1, "experiment worker count; 0 means GOMAXPROCS")
 	flag.Parse()
 
 	if *outDir != "" {
@@ -55,17 +63,22 @@ func main() {
 		}
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ctx := experiments.NewContext()
 	ctx.Check = !*nocheck
-	for _, e := range selected {
-		start := time.Now()
-		res, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+	failed := false
+	experiments.RunConcurrent(ctx, selected, workers, func(o experiments.Outcome) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Experiment.ID, o.Err)
+			failed = true
+			return
 		}
+		res := o.Result
 		fmt.Printf("==================================================================\n")
-		fmt.Printf("%s — %s  (%s)\n", res.ID, res.Title, time.Since(start).Truncate(time.Millisecond))
+		fmt.Printf("%s — %s  (%s)\n", res.ID, res.Title, o.Elapsed.Truncate(time.Millisecond))
 		fmt.Printf("==================================================================\n")
 		fmt.Println(res.Text)
 		for _, n := range res.Notes {
@@ -81,8 +94,11 @@ func main() {
 			path := filepath.Join(*outDir, res.ID+".txt")
 			if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
-				os.Exit(1)
+				failed = true
 			}
 		}
+	})
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -7,14 +7,18 @@
 //	rodiniasim -bench SRAD,BFS      # a subset
 //	rodiniasim -config gtx480-l1    # base | base8 | gtx280 | gtx480-shared | gtx480-l1
 //	rodiniasim -nocheck             # skip functional validation
+//	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
+//	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/gpusim"
@@ -42,6 +46,8 @@ func main() {
 	cfgName := flag.String("config", "base", "GPU configuration")
 	nocheck := flag.Bool("nocheck", false, "skip functional validation against the CPU reference")
 	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
+	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
+	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently; 0 means GOMAXPROCS")
 	flag.Parse()
 
 	cfg, err := configByName(*cfgName)
@@ -49,6 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.ShardWorkers = *workers
 
 	var benches []*kernels.Benchmark
 	if *benchList == "" {
@@ -64,8 +71,47 @@ func main() {
 		}
 	}
 
-	for _, b := range benches {
-		st, err := core.CharacterizeGPU(b, cfg, !*nocheck)
+	// Characterize on a bounded worker pool; print in input order as
+	// results become available.
+	pool := *parallel
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if pool > len(benches) {
+		pool = len(benches)
+	}
+	type outcome struct {
+		st  *gpusim.Stats
+		err error
+	}
+	outcomes := make([]outcome, len(benches))
+	ready := make([]chan struct{}, len(benches))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				st, err := core.CharacterizeGPU(benches[i], cfg, !*nocheck)
+				outcomes[i] = outcome{st: st, err: err}
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range benches {
+			next <- i
+		}
+		close(next)
+	}()
+
+	for i, b := range benches {
+		<-ready[i]
+		st, err := outcomes[i].st, outcomes[i].err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Abbrev, err)
 			os.Exit(1)
@@ -86,4 +132,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	wg.Wait()
 }

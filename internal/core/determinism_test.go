@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+)
+
+// TestParallelSimulationDeterminism runs the full 12-benchmark
+// characterization sequentially and with the shard-parallel simulator
+// and asserts byte-identical Stats — the contract Config.ShardWorkers
+// promises and every experiment depends on. encoding/json sorts map
+// keys, so equal stats marshal to equal bytes.
+func TestParallelSimulationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization sweep in -short mode")
+	}
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			seq, err := CharacterizeGPU(b, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := gpusim.Base()
+			cfg.ShardWorkers = 3
+			par, err := CharacterizeGPU(b, cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("parallel stats diverge from sequential\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}

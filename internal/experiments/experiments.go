@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/gpusim"
@@ -31,40 +32,76 @@ type Experiment struct {
 
 // Context caches expensive characterizations so related experiments
 // (e.g. Figures 1-3 share the 28-SM run) execute each simulation once.
+// It is safe for concurrent use: lookups are memoized with singleflight
+// semantics, so when several experiments race for the same
+// characterization exactly one executes it and the rest wait for its
+// result.
 type Context struct {
 	// Check validates every GPU benchmark against its CPU reference
 	// before trusting its statistics.
 	Check bool
 
-	gpuStats map[string]*gpusim.Stats
+	mu       sync.Mutex
+	gpuCalls map[string]*gpuCall
+	profCall *profilesCall
+}
+
+// gpuCall is one in-flight or completed GPU characterization.
+type gpuCall struct {
+	done  chan struct{}
+	stats *gpusim.Stats
+	err   error
+}
+
+// profilesCall is the in-flight or completed CPU-profile sweep.
+type profilesCall struct {
+	done     chan struct{}
 	profiles []*core.CPUProfile
 }
 
+// characterizeGPU is swappable so tests can count executions.
+var characterizeGPU = core.CharacterizeGPU
+
 // NewContext returns an empty cache with validation enabled.
 func NewContext() *Context {
-	return &Context{Check: true, gpuStats: make(map[string]*gpusim.Stats)}
+	return &Context{Check: true, gpuCalls: make(map[string]*gpuCall)}
 }
 
-// GPU characterizes a benchmark on a configuration, memoized.
+// GPU characterizes a benchmark on a configuration, memoized. Errors are
+// cached too: a characterization that fails once fails the same way for
+// every experiment that needs it, without re-running the simulation.
 func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, error) {
 	key := b.Abbrev + "@" + cfg.Name
-	if s, ok := c.gpuStats[key]; ok {
-		return s, nil
+	c.mu.Lock()
+	if call, ok := c.gpuCalls[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.stats, call.err
 	}
-	s, err := core.CharacterizeGPU(b, cfg, c.Check)
-	if err != nil {
-		return nil, err
-	}
-	c.gpuStats[key] = s
-	return s, nil
+	call := &gpuCall{done: make(chan struct{})}
+	c.gpuCalls[key] = call
+	c.mu.Unlock()
+
+	call.stats, call.err = characterizeGPU(b, cfg, c.Check)
+	close(call.done)
+	return call.stats, call.err
 }
 
 // Profiles characterizes every CPU workload once, memoized.
 func (c *Context) Profiles() []*core.CPUProfile {
-	if c.profiles == nil {
-		c.profiles = core.CharacterizeCPUAll(workloads.All())
+	c.mu.Lock()
+	call := c.profCall
+	if call == nil {
+		call = &profilesCall{done: make(chan struct{})}
+		c.profCall = call
+		c.mu.Unlock()
+		call.profiles = core.CharacterizeCPUAll(workloads.All())
+		close(call.done)
+		return call.profiles
 	}
-	return c.profiles
+	c.mu.Unlock()
+	<-call.done
+	return call.profiles
 }
 
 // All returns every experiment in paper order.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome is one experiment's run record.
+type Outcome struct {
+	Experiment *Experiment
+	Result     *Result
+	Err        error
+	Elapsed    time.Duration
+}
+
+// RunConcurrent executes the experiments on up to workers goroutines
+// sharing one Context, whose singleflight memoization guarantees each
+// underlying characterization still runs exactly once. Outcomes are
+// returned in input order; when deliver is non-nil it is invoked once
+// per experiment, also in input order, as soon as that experiment and
+// all its predecessors have finished — so callers can stream output
+// while later experiments are still running. workers < 1 means one.
+func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(Outcome)) []Outcome {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	outcomes := make([]Outcome, len(exps))
+	ready := make([]chan struct{}, len(exps))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				r, err := exps[i].Run(ctx)
+				outcomes[i] = Outcome{
+					Experiment: exps[i],
+					Result:     r,
+					Err:        err,
+					Elapsed:    time.Since(start),
+				}
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			next <- i
+		}
+		close(next)
+	}()
+	if deliver != nil {
+		for i := range exps {
+			<-ready[i]
+			deliver(outcomes[i])
+		}
+	}
+	wg.Wait()
+	return outcomes
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+)
+
+// TestContextSingleflight hammers one memoization key from many
+// goroutines and asserts the characterization ran exactly once — the
+// latent data race the concurrent runner would otherwise hit.
+func TestContextSingleflight(t *testing.T) {
+	var runs atomic.Int32
+	orig := characterizeGPU
+	characterizeGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+		runs.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		return gpusim.NewStats(cfg.Name), nil
+	}
+	defer func() { characterizeGPU = orig }()
+
+	ctx := NewContext()
+	b := kernels.All()[0]
+	cfg := gpusim.Base8SM()
+	const callers = 16
+	results := make([]*gpusim.Stats, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := ctx.GPU(b, cfg)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = s
+		}(i)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("characterization ran %d times, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("callers observed different memoized results")
+		}
+	}
+}
+
+func TestContextSingleflightCachesErrors(t *testing.T) {
+	var runs atomic.Int32
+	orig := characterizeGPU
+	characterizeGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+		runs.Add(1)
+		return nil, fmt.Errorf("boom")
+	}
+	defer func() { characterizeGPU = orig }()
+
+	ctx := NewContext()
+	b := kernels.All()[0]
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.GPU(b, gpusim.Base8SM()); err == nil {
+			t.Fatal("expected cached error")
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("failing characterization ran %d times, want 1", got)
+	}
+}
+
+// TestRunConcurrentOrdering checks that outcomes and streamed delivery
+// both follow input order regardless of completion order.
+func TestRunConcurrentOrdering(t *testing.T) {
+	const n = 8
+	var exps []*Experiment
+	for i := 0; i < n; i++ {
+		i := i
+		exps = append(exps, &Experiment{
+			ID:    fmt.Sprintf("exp%d", i),
+			Title: fmt.Sprintf("experiment %d", i),
+			Run: func(ctx *Context) (*Result, error) {
+				// Early experiments sleep longest, so completion order is
+				// roughly reversed from input order.
+				time.Sleep(time.Duration(n-i) * 5 * time.Millisecond)
+				if i == 3 {
+					return nil, fmt.Errorf("exp%d failed", i)
+				}
+				return &Result{ID: fmt.Sprintf("exp%d", i)}, nil
+			},
+		})
+	}
+	var delivered []string
+	outcomes := RunConcurrent(NewContext(), exps, 4, func(o Outcome) {
+		delivered = append(delivered, o.Experiment.ID)
+	})
+	if len(outcomes) != n || len(delivered) != n {
+		t.Fatalf("got %d outcomes, %d deliveries, want %d", len(outcomes), len(delivered), n)
+	}
+	for i, o := range outcomes {
+		want := fmt.Sprintf("exp%d", i)
+		if o.Experiment.ID != want || delivered[i] != want {
+			t.Fatalf("position %d: outcome %s, delivered %s, want %s",
+				i, o.Experiment.ID, delivered[i], want)
+		}
+		if i == 3 {
+			if o.Err == nil {
+				t.Fatal("exp3 error lost")
+			}
+		} else if o.Err != nil || o.Result == nil {
+			t.Fatalf("exp%d: unexpected outcome %+v", i, o)
+		}
+	}
+}
+
+func TestRunConcurrentNoDeliver(t *testing.T) {
+	exps := []*Experiment{{
+		ID: "one",
+		Run: func(ctx *Context) (*Result, error) {
+			return &Result{ID: "one"}, nil
+		},
+	}}
+	outcomes := RunConcurrent(NewContext(), exps, 0, nil)
+	if len(outcomes) != 1 || outcomes[0].Result == nil {
+		t.Fatalf("bad outcomes: %+v", outcomes)
+	}
+}

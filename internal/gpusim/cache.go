@@ -74,38 +74,3 @@ func (c *cache) access(addr uint64) bool {
 	c.stamp[victim] = c.tick
 	return false
 }
-
-// dram models the device memory system: independent channels selected by
-// line-interleaved addressing, each a FIFO with fixed service time per
-// transaction plus a pipe latency.
-type dram struct {
-	freeAt  []uint64
-	service float64 // core cycles to transfer one line on one channel
-	latency uint64
-	line    uint64
-	bytes   uint64
-	txns    uint64
-}
-
-func newDRAM(cfg *Config) *dram {
-	return &dram{
-		freeAt:  make([]uint64, cfg.MemChannels),
-		service: float64(cfg.LineSize) / cfg.dramBytesPerCoreCycle(),
-		latency: uint64(cfg.DRAMLatency),
-		line:    uint64(cfg.LineSize),
-	}
-}
-
-// access enqueues one line transaction for addr at cycle now and returns
-// its completion cycle.
-func (d *dram) access(now, addr uint64) uint64 {
-	ch := (addr / d.line) % uint64(len(d.freeAt))
-	start := d.freeAt[ch]
-	if now > start {
-		start = now
-	}
-	d.freeAt[ch] = start + uint64(d.service+0.5)
-	d.bytes += d.line
-	d.txns++
-	return d.freeAt[ch] + d.latency
-}

@@ -55,6 +55,16 @@ type Config struct {
 	L2CacheKB    int // device-wide unified L2; 0 disables (pre-Fermi)
 
 	LineSize int // cache line / coalescing segment size in bytes
+
+	// ShardWorkers is a host-side simulation knob, not an architectural
+	// parameter: values above 1 simulate the SMs on that many worker
+	// goroutines (capped at NumSMs). Results are bit-identical to the
+	// sequential path for every value, so it never changes what an
+	// experiment measures — only how fast it runs. 0 and 1 select the
+	// sequential simulator. One caveat: kernels using global atomics
+	// must run sequentially (the parallel path defers device stores and
+	// faults on atomics); no Rodinia kernel does.
+	ShardWorkers int
 }
 
 // Validate reports configuration errors.
@@ -72,6 +82,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("gpusim: LineSize = %d must be a power of two", c.LineSize)
 	case c.SharedBanks <= 0:
 		return fmt.Errorf("gpusim: SharedBanks = %d", c.SharedBanks)
+	case c.ShardWorkers < 0:
+		return fmt.Errorf("gpusim: ShardWorkers = %d", c.ShardWorkers)
 	}
 	return nil
 }

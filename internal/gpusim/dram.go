@@ -1,0 +1,64 @@
+package gpusim
+
+// dramModel abstracts the device memory system the caches sit in front
+// of: it prices line transactions and reports the traffic it carried.
+// Implementations must be deterministic functions of their access
+// sequence — the parallel launch path replays the exact sequential
+// access order against the model, and bit-identical results depend on
+// it.
+type dramModel interface {
+	// access enqueues one line transaction for addr at cycle now and
+	// returns its completion cycle.
+	access(now, addr uint64) uint64
+	// drainedBy returns the cycle by which every channel is idle, at
+	// least now. A launch is not over until buffered stores drain.
+	drainedBy(now uint64) uint64
+	// traffic reports the total bytes and transactions carried.
+	traffic() (bytes, txns uint64)
+}
+
+// fifoDRAM models the device memory system: independent channels
+// selected by line-interleaved addressing, each a FIFO with fixed
+// service time per transaction plus a pipe latency.
+type fifoDRAM struct {
+	freeAt  []uint64
+	service float64 // core cycles to transfer one line on one channel
+	latency uint64
+	line    uint64
+	bytes   uint64
+	txns    uint64
+}
+
+var _ dramModel = (*fifoDRAM)(nil)
+
+func newDRAM(cfg *Config) *fifoDRAM {
+	return &fifoDRAM{
+		freeAt:  make([]uint64, cfg.MemChannels),
+		service: float64(cfg.LineSize) / cfg.dramBytesPerCoreCycle(),
+		latency: uint64(cfg.DRAMLatency),
+		line:    uint64(cfg.LineSize),
+	}
+}
+
+func (d *fifoDRAM) access(now, addr uint64) uint64 {
+	ch := (addr / d.line) % uint64(len(d.freeAt))
+	start := d.freeAt[ch]
+	if now > start {
+		start = now
+	}
+	d.freeAt[ch] = start + uint64(d.service+0.5)
+	d.bytes += d.line
+	d.txns++
+	return d.freeAt[ch] + d.latency
+}
+
+func (d *fifoDRAM) drainedBy(now uint64) uint64 {
+	for _, f := range d.freeAt {
+		if f > now {
+			now = f
+		}
+	}
+	return now
+}
+
+func (d *fifoDRAM) traffic() (uint64, uint64) { return d.bytes, d.txns }

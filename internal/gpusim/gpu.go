@@ -7,18 +7,25 @@ import (
 )
 
 // GPU is a simulated device. It implements isa.Executor; Launch runs a
-// kernel under the timing model and accumulates into Stats. Per-SM caches
-// and the L2 persist across launches, as on hardware.
+// kernel under the timing model and accumulates into Stats. Per-SM caches,
+// the L2 and the sharing tracker persist across launches, as on hardware.
+//
+// The timing core is assembled from pluggable components, each in its own
+// file: a warp scheduler (scheduler.go), a memory subsystem — coalescer,
+// bank-conflict model, cache hierarchy — (memsys.go), and a DRAM-channel
+// model (dram.go). Configuration differences such as Fermi vs. GT200 are
+// expressed as component wiring, not branches in the event loop
+// (launch.go). Setting Config.ShardWorkers > 1 simulates SMs on worker
+// goroutines with results bit-identical to the sequential path
+// (parallel.go).
 type GPU struct {
 	cfg   Config
 	Stats *Stats
 
-	sms []*smCaches
-	l2  *cache
-
-	// lineOwner tracks which CTA first touched each global line, for the
-	// inter-CTA sharing statistics; -1 marks lines already shared.
-	lineOwner map[uint64]int32
+	sched   warpScheduler
+	sms     []*smCaches
+	l2      *cache
+	sharing *sharingTracker
 }
 
 type smCaches struct {
@@ -35,10 +42,11 @@ func New(cfg Config) (*GPU, error) {
 		return nil, err
 	}
 	g := &GPU{
-		cfg:       cfg,
-		Stats:     NewStats(cfg.Name),
-		l2:        newCache(cfg.L2CacheKB, 8, cfg.LineSize),
-		lineOwner: make(map[uint64]int32),
+		cfg:     cfg,
+		Stats:   NewStats(cfg.Name),
+		sched:   looseRoundRobin{},
+		l2:      newCache(cfg.L2CacheKB, 8, cfg.LineSize),
+		sharing: newSharingTracker(),
 	}
 	g.Stats.PeakBytesPerCycle = cfg.dramBytesPerCoreCycle() * float64(cfg.MemChannels)
 	for i := 0; i < cfg.NumSMs; i++ {
@@ -74,72 +82,6 @@ func (g *GPU) CTAsPerSM(k *isa.Kernel, block int) int {
 	return n
 }
 
-type warpRT struct {
-	w       *isa.Warp
-	cta     *ctaRT
-	readyAt uint64
-	retired bool
-}
-
-type ctaRT struct {
-	cta     *isa.CTA
-	spec    *runSpec
-	warps   []*warpRT
-	live    int
-	waiting int
-}
-
-type smRT struct {
-	caches      *smCaches
-	warps       []*warpRT
-	issueFreeAt uint64
-	rr          int
-
-	// Per-SM resource accounting, so CTAs of different kernels can share
-	// an SM under concurrent execution.
-	usedCTAs    int
-	usedThreads int
-	usedRegs    int
-	usedShared  int
-}
-
-// fits reports whether one more CTA of the spec fits on the SM.
-func (sm *smRT) fits(cfg *Config, sp *runSpec) bool {
-	return sm.usedCTAs+1 <= cfg.MaxCTAs &&
-		sm.usedThreads+sp.launch.Block <= cfg.MaxThreads &&
-		sm.usedRegs+sp.k.Regs()*sp.launch.Block <= cfg.Registers &&
-		sm.usedShared+sp.k.SharedBytes <= cfg.SharedMemory
-}
-
-// LaunchSpec pairs a kernel with its launch geometry and memory for
-// concurrent execution.
-type LaunchSpec struct {
-	Kernel *isa.Kernel
-	Launch isa.Launch
-	Mem    *isa.Memory
-}
-
-// runSpec is a LaunchSpec plus its dispatch cursor and per-kernel stats.
-type runSpec struct {
-	k       *isa.Kernel
-	launch  isa.Launch
-	mem     *isa.Memory
-	kStats  *Stats
-	nextCTA int
-}
-
-// launchState carries everything one (possibly concurrent) launch needs.
-type launchState struct {
-	g       *GPU
-	specs   []*runSpec
-	dram    *dram
-	sms     []*smRT
-	rrSpec  int
-	pending int // CTAs not yet finished
-	now     uint64
-	scratch []uint64
-}
-
 // Launch runs the kernel to completion under the timing model.
 func (g *GPU) Launch(k *isa.Kernel, launch isa.Launch, mem *isa.Memory) error {
 	return g.LaunchConcurrent([]LaunchSpec{{Kernel: k, Launch: launch, Mem: mem}})
@@ -154,11 +96,13 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 	if len(specs) == 0 {
 		return fmt.Errorf("gpusim: no kernels to launch")
 	}
+	d := newDRAM(&g.cfg)
 	ls := &launchState{
 		g:    g,
-		dram: newDRAM(&g.cfg),
+		dram: d,
+		ms:   newMemSubsystem(&g.cfg, g.l2, d, g.sharing),
 	}
-	for _, spec := range specs {
+	for i, spec := range specs {
 		if err := spec.Launch.Validate(); err != nil {
 			return err
 		}
@@ -167,7 +111,7 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 				spec.Kernel.Name, spec.Kernel.Regs(), spec.Kernel.SharedBytes, spec.Launch.Block, g.cfg.Name)
 		}
 		ls.specs = append(ls.specs, &runSpec{
-			k: spec.Kernel, launch: spec.Launch, mem: spec.Mem,
+			idx: i, k: spec.Kernel, launch: spec.Launch, mem: spec.Mem,
 			kStats: NewStats(g.cfg.Name),
 		})
 		ls.pending += spec.Launch.Grid
@@ -175,19 +119,30 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 	for i := 0; i < g.cfg.NumSMs; i++ {
 		ls.sms = append(ls.sms, &smRT{caches: g.sms[i]})
 	}
+	ls.sink = statsSink{g: g.Stats, k: make([]*Stats, len(ls.specs))}
+	for i, sp := range ls.specs {
+		ls.sink.k[i] = sp.kStats
+	}
 	// Snapshot cache counters so per-launch deltas can be accumulated.
 	snap := g.cacheSnapshot()
 
 	for _, sm := range ls.sms {
 		ls.fill(sm)
 	}
-	if err := ls.run(); err != nil {
+	var err error
+	if w := g.shardWorkers(); w > 1 {
+		err = ls.runParallel(w)
+	} else {
+		err = ls.run()
+	}
+	if err != nil {
 		return err
 	}
 
+	dramBytes, dramTxns := ls.dram.traffic()
 	g.Stats.Cycles += ls.now
-	g.Stats.DRAMBytes += ls.dram.bytes
-	g.Stats.DRAMTxns += ls.dram.txns
+	g.Stats.DRAMBytes += dramBytes
+	g.Stats.DRAMTxns += dramTxns
 	g.accumCacheDeltas(snap)
 
 	for _, sp := range ls.specs {
@@ -216,10 +171,20 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 	// on the single-kernel path only.
 	if len(ls.specs) == 1 {
 		pk := g.Stats.Kernel(ls.specs[0].k.Name)
-		pk.DRAMBytes += ls.dram.bytes
-		pk.DRAMTxns += ls.dram.txns
+		pk.DRAMBytes += dramBytes
+		pk.DRAMTxns += dramTxns
 	}
 	return nil
+}
+
+// shardWorkers resolves the configured worker count against the device:
+// there is never a reason to run more shards than SMs.
+func (g *GPU) shardWorkers() int {
+	w := g.cfg.ShardWorkers
+	if w > g.cfg.NumSMs {
+		w = g.cfg.NumSMs
+	}
+	return w
 }
 
 type cacheCounts struct{ l1h, l1m, l2h, l2m, ch, cm, th, tm uint64 }
@@ -257,415 +222,4 @@ func (g *GPU) accumCacheDeltas(before cacheCounts) {
 	g.Stats.ConstMisses += after.cm - before.cm
 	g.Stats.TexHits += after.th - before.th
 	g.Stats.TexMisses += after.tm - before.tm
-}
-
-// fill assigns pending CTAs round-robin across kernels to an SM while its
-// resource budgets allow.
-func (ls *launchState) fill(sm *smRT) {
-	for {
-		placed := false
-		for i := 0; i < len(ls.specs); i++ {
-			sp := ls.specs[(ls.rrSpec+i)%len(ls.specs)]
-			if sp.nextCTA >= sp.launch.Grid || !sm.fits(&ls.g.cfg, sp) {
-				continue
-			}
-			ls.rrSpec = (ls.rrSpec + i + 1) % len(ls.specs)
-			cta := isa.MakeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
-			sp.nextCTA++
-			rt := &ctaRT{cta: cta, spec: sp}
-			for _, w := range cta.Warps {
-				wrt := &warpRT{w: w, cta: rt, readyAt: ls.now}
-				rt.warps = append(rt.warps, wrt)
-				if !w.Done() {
-					rt.live++
-				}
-				sm.warps = append(sm.warps, wrt)
-			}
-			sm.usedCTAs++
-			sm.usedThreads += sp.launch.Block
-			sm.usedRegs += sp.k.Regs() * sp.launch.Block
-			sm.usedShared += sp.k.SharedBytes
-			placed = true
-			break
-		}
-		if !placed {
-			return
-		}
-	}
-}
-
-func (ls *launchState) run() error {
-	for ls.pending > 0 {
-		issued := false
-		for _, sm := range ls.sms {
-			if sm.issueFreeAt > ls.now {
-				continue
-			}
-			if ls.issueOne(sm) {
-				issued = true
-			}
-		}
-		if issued {
-			ls.now++
-			continue
-		}
-		next, ok := ls.nextEvent()
-		if !ok {
-			return fmt.Errorf("gpusim: kernel %s deadlocked at cycle %d (%d CTAs unfinished)",
-				ls.specs[0].k.Name, ls.now, ls.pending)
-		}
-		if next <= ls.now {
-			next = ls.now + 1
-		}
-		ls.now = next
-	}
-	// Buffered stores may still be draining: the launch is not over until
-	// every DRAM channel is idle.
-	for _, f := range ls.dram.freeAt {
-		if f > ls.now {
-			ls.now = f
-		}
-	}
-	return nil
-}
-
-// nextEvent finds the earliest cycle at which any warp could issue.
-func (ls *launchState) nextEvent() (uint64, bool) {
-	best := ^uint64(0)
-	found := false
-	for _, sm := range ls.sms {
-		for _, w := range sm.warps {
-			if w.retired || w.w.Done() || w.w.AtBarrier() {
-				continue
-			}
-			at := w.readyAt
-			if sm.issueFreeAt > at {
-				at = sm.issueFreeAt
-			}
-			if at < best {
-				best = at
-				found = true
-			}
-		}
-	}
-	return best, found
-}
-
-// issueOne picks a ready warp on the SM round-robin and executes one warp
-// instruction, charging its timing. Returns whether anything issued.
-func (ls *launchState) issueOne(sm *smRT) bool {
-	n := len(sm.warps)
-	if n == 0 {
-		return false
-	}
-	for i := 0; i < n; i++ {
-		idx := (sm.rr + 1 + i) % n
-		w := sm.warps[idx]
-		if w.retired || w.w.Done() || w.w.AtBarrier() || w.readyAt > ls.now {
-			continue
-		}
-		sm.rr = idx
-		ls.execute(sm, w)
-		return true
-	}
-	return false
-}
-
-func (ls *launchState) execute(sm *smRT, w *warpRT) {
-	st, err := w.w.Exec(w.cta.cta.Env)
-	if err != nil {
-		// Functional faults are kernel bugs; surface them loudly rather
-		// than silently corrupting the run.
-		panic(err)
-	}
-	stats := ls.g.Stats
-	cfg := &ls.g.cfg
-	issue := cfg.issueCycles()
-
-	kStats := w.cta.spec.kStats
-	stats.WarpInstrs++
-	kStats.WarpInstrs++
-	stats.ThreadInstrs += uint64(st.ActiveCount)
-	kStats.ThreadInstrs += uint64(st.ActiveCount)
-	if st.ActiveCount > 0 {
-		bucket := (st.ActiveCount - 1) / 8
-		if bucket > 3 {
-			bucket = 3
-		}
-		stats.Occupancy[bucket]++
-		kStats.Occupancy[bucket]++
-	}
-
-	lat := uint64(cfg.ALULatency)
-	switch st.Instr.Op.Class() {
-	case isa.ClassALU:
-	case isa.ClassSFU:
-		lat = uint64(cfg.SFULatency)
-		issue *= 4 // SFU throughput is a quarter of the main pipeline
-	case isa.ClassCtl:
-		stats.BranchInstrs++
-		kStats.BranchInstrs++
-		if st.Diverged {
-			stats.DivergentBranches++
-			kStats.DivergentBranches++
-		}
-	case isa.ClassMem:
-		stats.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
-		kStats.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
-		issue, lat = ls.memCost(sm, w, st, issue)
-	case isa.ClassBar:
-		ls.barrier(w)
-	case isa.ClassExit:
-	}
-
-	sm.issueFreeAt = ls.now + issue
-	w.readyAt = ls.now + lat
-	if w.w.Done() && !w.retired {
-		ls.retire(sm, w)
-	}
-}
-
-func (ls *launchState) barrier(w *warpRT) {
-	w.cta.waiting++
-	ls.checkRelease(w.cta)
-}
-
-// checkRelease releases a CTA's barrier once every live warp has arrived.
-func (ls *launchState) checkRelease(cta *ctaRT) {
-	if cta.live == 0 || cta.waiting < cta.live {
-		return
-	}
-	cta.waiting = 0
-	for _, o := range cta.warps {
-		if o.w.AtBarrier() {
-			o.w.ReleaseBarrier()
-			if o.readyAt < ls.now+1 {
-				o.readyAt = ls.now + 1
-			}
-		}
-	}
-}
-
-func (ls *launchState) retire(sm *smRT, w *warpRT) {
-	w.retired = true
-	cta := w.cta
-	cta.live--
-	if cta.live > 0 {
-		// A warp exited while others were waiting at a barrier.
-		ls.checkRelease(cta)
-		return
-	}
-	// CTA complete: free its resources, compact the warp list, refill.
-	ls.pending--
-	sp := cta.spec
-	sm.usedCTAs--
-	sm.usedThreads -= sp.launch.Block
-	sm.usedRegs -= sp.k.Regs() * sp.launch.Block
-	sm.usedShared -= sp.k.SharedBytes
-	keep := sm.warps[:0]
-	for _, x := range sm.warps {
-		if x.cta != cta {
-			keep = append(keep, x)
-		}
-	}
-	sm.warps = keep
-	if sm.rr >= len(sm.warps) {
-		sm.rr = 0
-	}
-	ls.fill(sm)
-}
-
-// memCost prices a memory warp instruction, returning the issue-slot
-// occupancy and the latency until the warp may issue its next instruction.
-func (ls *launchState) memCost(sm *smRT, w *warpRT, st isa.Step, issue uint64) (uint64, uint64) {
-	cfg := &ls.g.cfg
-	switch st.Instr.Space {
-	case isa.SpaceParam:
-		return issue, uint64(cfg.ParamLatency)
-
-	case isa.SpaceShared:
-		degree := ls.bankDegree(st.Accesses)
-		if degree > 1 {
-			extra := uint64(degree-1) * issue
-			ls.g.Stats.BankConflictCycles += extra
-			w.cta.spec.kStats.BankConflictCycles += extra
-			return issue * uint64(degree), uint64(cfg.SharedLatency) + extra
-		}
-		return issue, uint64(cfg.SharedLatency)
-
-	case isa.SpaceConst:
-		lines := ls.uniqueLines(st.Accesses, 0)
-		done := ls.now
-		for _, line := range lines {
-			var t uint64
-			if sm.caches.constC != nil && sm.caches.constC.access(line) {
-				t = ls.now + uint64(cfg.ConstLatency)
-			} else {
-				t = ls.dram.access(ls.now, line) + uint64(cfg.ConstLatency)
-			}
-			if t > done {
-				done = t
-			}
-		}
-		return issue + uint64(len(lines)-1), done - ls.now
-
-	case isa.SpaceTex:
-		lines := ls.uniqueLines(st.Accesses, 0)
-		done := ls.now
-		for _, line := range lines {
-			var t uint64
-			if sm.caches.texC != nil && sm.caches.texC.access(line) {
-				t = ls.now + uint64(cfg.TexLatency)
-			} else {
-				t = ls.l2Access(line) + uint64(cfg.TexLatency)
-			}
-			if t > done {
-				done = t
-			}
-		}
-		return issue + uint64(len(lines)-1), done - ls.now
-
-	default: // global, local, atomics
-		// Local addresses are per-thread; offset them so coalescing and
-		// channel interleaving see distinct locations per thread.
-		var laneBase uint64
-		if st.Instr.Space == isa.SpaceLocal {
-			laneBase = 1
-		}
-		lines := ls.uniqueLines(st.Accesses, laneBase)
-		if st.Instr.Space == isa.SpaceGlobal {
-			ls.trackSharing(w.cta.cta.Index, lines)
-		}
-		store := st.Instr.Op == isa.OpSt || st.Instr.Op == isa.OpStF
-		done := ls.now
-		for _, line := range lines {
-			var t uint64
-			switch {
-			case !store && sm.caches.l1 != nil && sm.caches.l1.access(line):
-				t = ls.now + uint64(cfg.L1Latency)
-			default:
-				t = ls.l2Access(line)
-			}
-			if t > done {
-				done = t
-			}
-		}
-		slots := issue + uint64(len(lines)-1)
-		if store {
-			// Stores are buffered: the warp proceeds after issuing the
-			// transactions; they still consume DRAM bandwidth above.
-			return slots, uint64(cfg.ALULatency)
-		}
-		return slots, done - ls.now
-	}
-}
-
-// trackSharing records which CTA touches each global line, feeding the
-// inter-CTA sharing statistics.
-func (ls *launchState) trackSharing(cta int, lines []uint64) {
-	g := ls.g
-	for _, line := range lines {
-		g.Stats.GlobalLineAccesses++
-		owner, seen := g.lineOwner[line]
-		switch {
-		case !seen:
-			g.lineOwner[line] = int32(cta)
-			g.Stats.GlobalLines++
-		case owner == -1:
-			g.Stats.InterCTAAccesses++
-		case owner != int32(cta):
-			g.lineOwner[line] = -1
-			g.Stats.InterCTALines++
-			g.Stats.InterCTAAccesses++
-		}
-	}
-}
-
-// l2Access sends one line transaction through the L2 (when present) to
-// DRAM and returns its completion cycle.
-func (ls *launchState) l2Access(line uint64) uint64 {
-	cfg := &ls.g.cfg
-	if ls.g.l2 != nil {
-		if ls.g.l2.access(line) {
-			return ls.now + uint64(cfg.L2Latency)
-		}
-		return ls.dram.access(ls.now, line) + uint64(cfg.L2Latency)
-	}
-	return ls.dram.access(ls.now, line)
-}
-
-// bankDegree computes the shared-memory bank-conflict degree: the maximum
-// number of distinct words mapping to one bank. Identical words broadcast
-// and do not conflict. Hardware with fewer banks than lanes services the
-// warp in lane groups of the bank count (half-warps on 16-bank parts), so
-// conflicts are computed within each group and the worst group governs.
-func (ls *launchState) bankDegree(accesses []isa.MemAccess) int {
-	if !ls.g.cfg.BankConflicts {
-		return 1
-	}
-	banks := ls.g.cfg.SharedBanks
-	if banks > 32 {
-		banks = 32 // a warp has at most 32 lanes; more banks never conflict
-	}
-	// Small fixed-size bookkeeping: per bank, the set of distinct words.
-	var words [32][]uint64
-	degree := 1
-	group := -1
-	for _, a := range accesses {
-		if g := a.Lane / banks; g != group {
-			group = g
-			for i := 0; i < banks; i++ {
-				words[i] = words[i][:0]
-			}
-		}
-		word := a.Addr >> 2
-		bank := int(word) % banks
-		seen := false
-		for _, x := range words[bank] {
-			if x == word {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			words[bank] = append(words[bank], word)
-			if len(words[bank]) > degree {
-				degree = len(words[bank])
-			}
-		}
-	}
-	return degree
-}
-
-// uniqueLines coalesces a warp's accesses into unique line addresses.
-// laneBase, when nonzero, disambiguates per-thread (local) address spaces.
-// With coalescing disabled, every access becomes its own transaction.
-func (ls *launchState) uniqueLines(accesses []isa.MemAccess, laneBase uint64) []uint64 {
-	shift := uint(0)
-	for l := ls.g.cfg.LineSize; l > 1; l >>= 1 {
-		shift++
-	}
-	ls.scratch = ls.scratch[:0]
-	for _, a := range accesses {
-		addr := a.Addr
-		if laneBase != 0 {
-			addr += uint64(a.Lane) << 40
-		}
-		line := (addr >> shift) << shift
-		if ls.g.cfg.NoCoalescing {
-			ls.scratch = append(ls.scratch, line)
-			continue
-		}
-		seen := false
-		for _, x := range ls.scratch {
-			if x == line {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			ls.scratch = append(ls.scratch, line)
-		}
-	}
-	return ls.scratch
 }

@@ -415,8 +415,9 @@ func TestOversizedKernelRejected(t *testing.T) {
 	}
 }
 
-func TestBarrierReductionUnderTiming(t *testing.T) {
-	const block = 256
+// reduceKernel builds a shared-memory tree reduction over one block,
+// writing each CTA's total to out[cta].
+func reduceKernel(block int) *isa.Kernel {
 	b := isa.NewBuilder()
 	b.SetShared(block * 8)
 	tid, saddr, base, v, stride, oaddr := b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
@@ -427,7 +428,7 @@ func TestBarrierReductionUnderTiming(t *testing.T) {
 	b.IAddI(v, tid, 1)
 	b.St(isa.I64, isa.SpaceShared, saddr, 0, v)
 	b.Bar()
-	b.MovI(stride, block/2)
+	b.MovI(stride, int64(block/2))
 	b.While(func() isa.PReg {
 		b.SetpII(p, isa.CmpGT, stride, 0)
 		return p
@@ -456,7 +457,12 @@ func TestBarrierReductionUnderTiming(t *testing.T) {
 		b.IAdd(ca, ca, base)
 		b.St(isa.I64, isa.SpaceGlobal, ca, 0, r)
 	}, nil)
-	k := b.Build("reduce")
+	return b.Build("reduce")
+}
+
+func TestBarrierReductionUnderTiming(t *testing.T) {
+	const block = 256
+	k := reduceKernel(block)
 
 	mem := isa.NewMemory()
 	out := mem.AllocGlobal(16 * 8)

@@ -1,0 +1,357 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+type warpRT struct {
+	w       *isa.Warp
+	cta     *ctaRT
+	readyAt uint64
+	retired bool
+}
+
+type ctaRT struct {
+	cta     *isa.CTA
+	spec    *runSpec
+	warps   []*warpRT
+	live    int
+	waiting int
+}
+
+type smRT struct {
+	caches      *smCaches
+	warps       []*warpRT
+	issueFreeAt uint64
+	rr          int
+
+	// storeBuf, when non-nil, defers the SM's device-memory stores so the
+	// parallel path can execute SMs concurrently; the coordinator flushes
+	// the buffers in SM index order each cycle. Nil on the sequential
+	// path, where stores apply immediately.
+	storeBuf *isa.StoreBuffer
+
+	// Per-SM resource accounting, so CTAs of different kernels can share
+	// an SM under concurrent execution.
+	usedCTAs    int
+	usedThreads int
+	usedRegs    int
+	usedShared  int
+}
+
+// fits reports whether one more CTA of the spec fits on the SM.
+func (sm *smRT) fits(cfg *Config, sp *runSpec) bool {
+	return sm.usedCTAs+1 <= cfg.MaxCTAs &&
+		sm.usedThreads+sp.launch.Block <= cfg.MaxThreads &&
+		sm.usedRegs+sp.k.Regs()*sp.launch.Block <= cfg.Registers &&
+		sm.usedShared+sp.k.SharedBytes <= cfg.SharedMemory
+}
+
+// LaunchSpec pairs a kernel with its launch geometry and memory for
+// concurrent execution.
+type LaunchSpec struct {
+	Kernel *isa.Kernel
+	Launch isa.Launch
+	Mem    *isa.Memory
+}
+
+// runSpec is a LaunchSpec plus its dispatch cursor and per-kernel stats.
+type runSpec struct {
+	idx     int
+	k       *isa.Kernel
+	launch  isa.Launch
+	mem     *isa.Memory
+	kStats  *Stats
+	nextCTA int
+}
+
+// statsSink is where one execution stream accumulates counters: the
+// launch-wide stats plus one per-kernel entry per runSpec, indexed by
+// runSpec.idx. The sequential path uses a single sink backed by
+// GPU.Stats; the parallel path gives each worker its own zeroed sink and
+// merges them deterministically after the run.
+type statsSink struct {
+	g *Stats
+	k []*Stats
+}
+
+func newStatsSink(cfg *Config, nspecs int) statsSink {
+	sink := statsSink{g: NewStats(cfg.Name), k: make([]*Stats, nspecs)}
+	for i := range sink.k {
+		sink.k[i] = NewStats(cfg.Name)
+	}
+	return sink
+}
+
+// issuedStep is one warp instruction issued during a cycle, carrying the
+// timing charge decided so far. mem marks steps that still need pricing
+// by the shared memory system (priceShared) before settling.
+type issuedStep struct {
+	w     *warpRT
+	st    isa.Step
+	issue uint64
+	lat   uint64
+	mem   bool
+}
+
+// launchState carries everything one (possibly concurrent) launch needs.
+type launchState struct {
+	g       *GPU
+	specs   []*runSpec
+	dram    dramModel
+	ms      *memSubsystem
+	sms     []*smRT
+	sink    statsSink // authoritative sink: GPU.Stats + per-spec kStats
+	rrSpec  int
+	pending int // CTAs not yet finished
+	now     uint64
+}
+
+// fill assigns pending CTAs round-robin across kernels to an SM while its
+// resource budgets allow.
+func (ls *launchState) fill(sm *smRT) {
+	for {
+		placed := false
+		for i := 0; i < len(ls.specs); i++ {
+			sp := ls.specs[(ls.rrSpec+i)%len(ls.specs)]
+			if sp.nextCTA >= sp.launch.Grid || !sm.fits(&ls.g.cfg, sp) {
+				continue
+			}
+			ls.rrSpec = (ls.rrSpec + i + 1) % len(ls.specs)
+			cta := isa.MakeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
+			cta.Env.StoreBuf = sm.storeBuf
+			sp.nextCTA++
+			rt := &ctaRT{cta: cta, spec: sp}
+			for _, w := range cta.Warps {
+				wrt := &warpRT{w: w, cta: rt, readyAt: ls.now}
+				rt.warps = append(rt.warps, wrt)
+				if !w.Done() {
+					rt.live++
+				}
+				sm.warps = append(sm.warps, wrt)
+			}
+			sm.usedCTAs++
+			sm.usedThreads += sp.launch.Block
+			sm.usedRegs += sp.k.Regs() * sp.launch.Block
+			sm.usedShared += sp.k.SharedBytes
+			placed = true
+			break
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// run is the sequential event loop: each cycle, every SM issues at most
+// one warp instruction, in SM index order. When no warp can issue the
+// clock jumps to the next event.
+func (ls *launchState) run() error {
+	for ls.pending > 0 {
+		issued := false
+		for _, sm := range ls.sms {
+			if sm.issueFreeAt > ls.now {
+				continue
+			}
+			step, ok, err := ls.execOne(sm, ls.sink)
+			if err != nil {
+				// Functional faults are kernel bugs; surface them loudly
+				// rather than silently corrupting the run.
+				panic(err)
+			}
+			if !ok {
+				continue
+			}
+			if step.mem {
+				ls.priceShared(sm, &step)
+			}
+			ls.settleTiming(sm, step)
+			ls.maybeRetire(sm, step.w)
+			issued = true
+		}
+		if issued {
+			ls.now++
+			continue
+		}
+		next, ok := ls.nextEvent()
+		if !ok {
+			return ls.deadlock()
+		}
+		if next <= ls.now {
+			next = ls.now + 1
+		}
+		ls.now = next
+	}
+	// Buffered stores may still be draining: the launch is not over until
+	// every DRAM channel is idle.
+	ls.now = ls.dram.drainedBy(ls.now)
+	return nil
+}
+
+func (ls *launchState) deadlock() error {
+	return fmt.Errorf("gpusim: kernel %s deadlocked at cycle %d (%d CTAs unfinished)",
+		ls.specs[0].k.Name, ls.now, ls.pending)
+}
+
+// nextEvent finds the earliest cycle at which any warp could issue.
+func (ls *launchState) nextEvent() (uint64, bool) {
+	best := ^uint64(0)
+	found := false
+	for _, sm := range ls.sms {
+		for _, w := range sm.warps {
+			if w.retired || w.w.Done() || w.w.AtBarrier() {
+				continue
+			}
+			at := w.readyAt
+			if sm.issueFreeAt > at {
+				at = sm.issueFreeAt
+			}
+			if at < best {
+				best = at
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// execOne asks the scheduler for a warp on the SM, executes one warp
+// instruction functionally, and charges everything that depends only on
+// SM-local state into the sink: instruction/occupancy counters,
+// ALU/SFU/control pricing, barrier arrival, and the SM-private memory
+// spaces (parameter, shared). Memory instructions that route through the
+// launch-global memory system are returned with mem=true for the caller
+// to price via priceShared. Safe to call concurrently for SMs on
+// different shards when each shard has its own sink.
+func (ls *launchState) execOne(sm *smRT, sink statsSink) (issuedStep, bool, error) {
+	w := ls.g.sched.pick(sm, ls.now)
+	if w == nil {
+		return issuedStep{}, false, nil
+	}
+	st, err := w.w.Exec(w.cta.cta.Env)
+	if err != nil {
+		return issuedStep{}, false, err
+	}
+	cfg := &ls.g.cfg
+	gs, ks := sink.g, sink.k[w.cta.spec.idx]
+	issue := cfg.issueCycles()
+	lat := uint64(cfg.ALULatency)
+
+	gs.WarpInstrs++
+	ks.WarpInstrs++
+	gs.ThreadInstrs += uint64(st.ActiveCount)
+	ks.ThreadInstrs += uint64(st.ActiveCount)
+	if st.ActiveCount > 0 {
+		bucket := (st.ActiveCount - 1) / 8
+		if bucket > 3 {
+			bucket = 3
+		}
+		gs.Occupancy[bucket]++
+		ks.Occupancy[bucket]++
+	}
+
+	step := issuedStep{w: w}
+	switch st.Instr.Op.Class() {
+	case isa.ClassALU:
+	case isa.ClassSFU:
+		lat = uint64(cfg.SFULatency)
+		issue *= 4 // SFU throughput is a quarter of the main pipeline
+	case isa.ClassCtl:
+		gs.BranchInstrs++
+		ks.BranchInstrs++
+		if st.Diverged {
+			gs.DivergentBranches++
+			ks.DivergentBranches++
+		}
+	case isa.ClassMem:
+		gs.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
+		ks.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
+		if sharedSpace(st.Instr.Space) {
+			step.st = st
+			step.mem = true
+		} else {
+			issue, lat = ls.ms.localCost(st, issue, gs, ks)
+		}
+	case isa.ClassBar:
+		ls.barrier(w)
+	case isa.ClassExit:
+	}
+	step.issue, step.lat = issue, lat
+	return step, true, nil
+}
+
+// priceShared completes the pricing of a mem step through the shared
+// memory system. Must run serialized, in SM index order. Sharing
+// statistics always land in the authoritative sink — the tracker state
+// they accompany is launch-global.
+func (ls *launchState) priceShared(sm *smRT, step *issuedStep) {
+	step.issue, step.lat = ls.ms.sharedCost(
+		ls.now, sm.caches, step.w.cta.cta.Index, step.st, step.issue, ls.sink.g)
+}
+
+// settleTiming applies an issued step's charges to the SM and warp.
+func (ls *launchState) settleTiming(sm *smRT, step issuedStep) {
+	sm.issueFreeAt = ls.now + step.issue
+	step.w.readyAt = ls.now + step.lat
+}
+
+// maybeRetire retires the warp's CTA slot if it just finished. Mutates
+// launch-global dispatch state (pending, rrSpec, CTA cursors), so the
+// parallel path defers it to the serialized phase.
+func (ls *launchState) maybeRetire(sm *smRT, w *warpRT) {
+	if w.w.Done() && !w.retired {
+		ls.retire(sm, w)
+	}
+}
+
+func (ls *launchState) barrier(w *warpRT) {
+	w.cta.waiting++
+	ls.checkRelease(w.cta)
+}
+
+// checkRelease releases a CTA's barrier once every live warp has arrived.
+func (ls *launchState) checkRelease(cta *ctaRT) {
+	if cta.live == 0 || cta.waiting < cta.live {
+		return
+	}
+	cta.waiting = 0
+	for _, o := range cta.warps {
+		if o.w.AtBarrier() {
+			o.w.ReleaseBarrier()
+			if o.readyAt < ls.now+1 {
+				o.readyAt = ls.now + 1
+			}
+		}
+	}
+}
+
+func (ls *launchState) retire(sm *smRT, w *warpRT) {
+	w.retired = true
+	cta := w.cta
+	cta.live--
+	if cta.live > 0 {
+		// A warp exited while others were waiting at a barrier.
+		ls.checkRelease(cta)
+		return
+	}
+	// CTA complete: free its resources, compact the warp list, refill.
+	ls.pending--
+	sp := cta.spec
+	sm.usedCTAs--
+	sm.usedThreads -= sp.launch.Block
+	sm.usedRegs -= sp.k.Regs() * sp.launch.Block
+	sm.usedShared -= sp.k.SharedBytes
+	keep := sm.warps[:0]
+	for _, x := range sm.warps {
+		if x.cta != cta {
+			keep = append(keep, x)
+		}
+	}
+	sm.warps = keep
+	if sm.rr >= len(sm.warps) {
+		sm.rr = 0
+	}
+	ls.fill(sm)
+}

@@ -1,0 +1,307 @@
+package gpusim
+
+import "repro/internal/isa"
+
+// coalescer merges the lanes of one warp memory instruction into unique
+// line-sized transactions (the per-warp coalescing hardware). laneBase,
+// when nonzero, disambiguates per-thread (local) address spaces. With
+// coalescing disabled (an ablation knob) every access becomes its own
+// transaction.
+type coalescer struct {
+	lineShift uint
+	disabled  bool
+	scratch   []uint64
+}
+
+func newCoalescer(cfg *Config) coalescer {
+	c := coalescer{disabled: cfg.NoCoalescing}
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// lines returns the coalesced line addresses for a warp's accesses. The
+// returned slice aliases internal scratch, valid until the next call.
+func (c *coalescer) lines(accesses []isa.MemAccess, laneBase uint64) []uint64 {
+	c.scratch = c.scratch[:0]
+	for _, a := range accesses {
+		addr := a.Addr
+		if laneBase != 0 {
+			addr += uint64(a.Lane) << 40
+		}
+		line := (addr >> c.lineShift) << c.lineShift
+		if c.disabled {
+			c.scratch = append(c.scratch, line)
+			continue
+		}
+		seen := false
+		for _, x := range c.scratch {
+			if x == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			c.scratch = append(c.scratch, line)
+		}
+	}
+	return c.scratch
+}
+
+// bankModel computes the shared-memory bank-conflict degree: the maximum
+// number of distinct words mapping to one bank. Identical words broadcast
+// and do not conflict. Hardware with fewer banks than lanes services the
+// warp in lane groups of the bank count (half-warps on 16-bank parts), so
+// conflicts are computed within each group and the worst group governs.
+// It is stateless and safe to call from concurrent SM shards.
+type bankModel struct {
+	banks   int
+	enabled bool
+}
+
+func newBankModel(cfg *Config) bankModel {
+	banks := cfg.SharedBanks
+	if banks > 32 {
+		banks = 32 // a warp has at most 32 lanes; more banks never conflict
+	}
+	return bankModel{banks: banks, enabled: cfg.BankConflicts}
+}
+
+func (m bankModel) degree(accesses []isa.MemAccess) int {
+	if !m.enabled {
+		return 1
+	}
+	banks := m.banks
+	// Small fixed-size bookkeeping: per bank, the set of distinct words.
+	var words [32][]uint64
+	degree := 1
+	group := -1
+	for _, a := range accesses {
+		if g := a.Lane / banks; g != group {
+			group = g
+			for i := 0; i < banks; i++ {
+				words[i] = words[i][:0]
+			}
+		}
+		word := a.Addr >> 2
+		bank := int(word) % banks
+		seen := false
+		for _, x := range words[bank] {
+			if x == word {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			words[bank] = append(words[bank], word)
+			if len(words[bank]) > degree {
+				degree = len(words[bank])
+			}
+		}
+	}
+	return degree
+}
+
+// sharingTracker records which CTA first touched each global line,
+// feeding the inter-CTA sharing statistics; -1 marks lines already
+// shared. It persists across launches on the GPU, like the caches.
+type sharingTracker struct {
+	owner map[uint64]int32
+}
+
+func newSharingTracker() *sharingTracker {
+	return &sharingTracker{owner: make(map[uint64]int32)}
+}
+
+func (t *sharingTracker) track(cta int, lines []uint64, gs *Stats) {
+	for _, line := range lines {
+		gs.GlobalLineAccesses++
+		owner, seen := t.owner[line]
+		switch {
+		case !seen:
+			t.owner[line] = int32(cta)
+			gs.GlobalLines++
+		case owner == -1:
+			gs.InterCTAAccesses++
+		case owner != int32(cta):
+			t.owner[line] = -1
+			gs.InterCTALines++
+			gs.InterCTAAccesses++
+		}
+	}
+}
+
+// linePath resolves one line transaction starting at cycle now against an
+// SM's private caches and whatever sits behind them, returning the
+// completion cycle.
+type linePath func(now uint64, caches *smCaches, line uint64) uint64
+
+// memSubsystem prices warp memory instructions: the coalescer, the
+// bank-conflict model and the cache hierarchy in front of the DRAM
+// channels. The hierarchy differences between configurations — GT200
+// without data caches, Fermi with a unified L2 and either shared- or
+// L1-biased SMs — are wired as line paths at construction instead of
+// branches inside the event loop.
+//
+// localCost touches no launch-global state and may be called from
+// concurrent SM shards; sharedCost routes through the caches, the DRAM
+// channels and the sharing tracker and must be called serialized, in SM
+// index order, to keep parallel runs bit-identical to sequential ones.
+type memSubsystem struct {
+	cfg     *Config
+	coal    coalescer
+	banks   bankModel
+	sharing *sharingTracker
+	dram    dramModel
+
+	constPath linePath
+	texPath   linePath
+	loadPath  linePath // global/local loads
+	storePath linePath // global/local stores (bypass the L1)
+}
+
+func newMemSubsystem(cfg *Config, l2 *cache, d dramModel, sharing *sharingTracker) *memSubsystem {
+	ms := &memSubsystem{
+		cfg:     cfg,
+		coal:    newCoalescer(cfg),
+		banks:   newBankModel(cfg),
+		sharing: sharing,
+		dram:    d,
+	}
+
+	// The L2 (when present) fronts DRAM for texture, global and local
+	// traffic; constant fetches miss straight to DRAM, as on GT200.
+	l2Fill := func(now, line uint64) uint64 { return d.access(now, line) }
+	if l2 != nil {
+		l2Lat := uint64(cfg.L2Latency)
+		l2Fill = func(now, line uint64) uint64 {
+			if l2.access(line) {
+				return now + l2Lat
+			}
+			return d.access(now, line) + l2Lat
+		}
+	}
+	ms.storePath = func(now uint64, _ *smCaches, line uint64) uint64 {
+		return l2Fill(now, line)
+	}
+
+	constLat := uint64(cfg.ConstLatency)
+	if cfg.ConstCacheKB > 0 {
+		ms.constPath = func(now uint64, c *smCaches, line uint64) uint64 {
+			if c.constC.access(line) {
+				return now + constLat
+			}
+			return d.access(now, line) + constLat
+		}
+	} else {
+		ms.constPath = func(now uint64, _ *smCaches, line uint64) uint64 {
+			return d.access(now, line) + constLat
+		}
+	}
+
+	texLat := uint64(cfg.TexLatency)
+	if cfg.TexCacheKB > 0 {
+		ms.texPath = func(now uint64, c *smCaches, line uint64) uint64 {
+			if c.texC.access(line) {
+				return now + texLat
+			}
+			return l2Fill(now, line) + texLat
+		}
+	} else {
+		ms.texPath = func(now uint64, _ *smCaches, line uint64) uint64 {
+			return l2Fill(now, line) + texLat
+		}
+	}
+
+	if cfg.L1CacheKB > 0 {
+		l1Lat := uint64(cfg.L1Latency)
+		ms.loadPath = func(now uint64, c *smCaches, line uint64) uint64 {
+			if c.l1.access(line) {
+				return now + l1Lat
+			}
+			return l2Fill(now, line)
+		}
+	} else {
+		ms.loadPath = ms.storePath
+	}
+	return ms
+}
+
+// sharedSpace reports whether pricing the instruction routes through the
+// launch-global memory system (caches, DRAM, sharing tracker) rather
+// than SM-local resources.
+func sharedSpace(sp isa.Space) bool {
+	return sp != isa.SpaceParam && sp != isa.SpaceShared
+}
+
+// localCost prices the memory spaces private to an SM — parameter reads
+// and shared memory with its bank conflicts — charging conflict cycles
+// to gs and ks. Safe under concurrent per-shard execution.
+func (ms *memSubsystem) localCost(st isa.Step, issue uint64, gs, ks *Stats) (uint64, uint64) {
+	if st.Instr.Space == isa.SpaceParam {
+		return issue, uint64(ms.cfg.ParamLatency)
+	}
+	degree := ms.banks.degree(st.Accesses)
+	if degree > 1 {
+		extra := uint64(degree-1) * issue
+		gs.BankConflictCycles += extra
+		ks.BankConflictCycles += extra
+		return issue * uint64(degree), uint64(ms.cfg.SharedLatency) + extra
+	}
+	return issue, uint64(ms.cfg.SharedLatency)
+}
+
+// sharedCost prices the memory spaces that go through the cache
+// hierarchy and DRAM channels (constant, texture, global, local,
+// atomics). Callers must serialize invocations in SM index order.
+func (ms *memSubsystem) sharedCost(now uint64, caches *smCaches, cta int, st isa.Step, issue uint64, gs *Stats) (uint64, uint64) {
+	switch st.Instr.Space {
+	case isa.SpaceConst:
+		lines := ms.coal.lines(st.Accesses, 0)
+		done := ms.complete(now, caches, ms.constPath, lines)
+		return issue + uint64(len(lines)-1), done - now
+
+	case isa.SpaceTex:
+		lines := ms.coal.lines(st.Accesses, 0)
+		done := ms.complete(now, caches, ms.texPath, lines)
+		return issue + uint64(len(lines)-1), done - now
+
+	default: // global, local, atomics
+		// Local addresses are per-thread; offset them so coalescing and
+		// channel interleaving see distinct locations per thread.
+		var laneBase uint64
+		if st.Instr.Space == isa.SpaceLocal {
+			laneBase = 1
+		}
+		lines := ms.coal.lines(st.Accesses, laneBase)
+		if st.Instr.Space == isa.SpaceGlobal {
+			ms.sharing.track(cta, lines, gs)
+		}
+		store := st.Instr.Op == isa.OpSt || st.Instr.Op == isa.OpStF
+		path := ms.loadPath
+		if store {
+			path = ms.storePath
+		}
+		done := ms.complete(now, caches, path, lines)
+		slots := issue + uint64(len(lines)-1)
+		if store {
+			// Stores are buffered: the warp proceeds after issuing the
+			// transactions; they still consume DRAM bandwidth above.
+			return slots, uint64(ms.cfg.ALULatency)
+		}
+		return slots, done - now
+	}
+}
+
+// complete sends each line down the path and returns the last completion
+// cycle, at least now.
+func (ms *memSubsystem) complete(now uint64, caches *smCaches, path linePath, lines []uint64) uint64 {
+	done := now
+	for _, line := range lines {
+		if t := path(now, caches, line); t > done {
+			done = t
+		}
+	}
+	return done
+}

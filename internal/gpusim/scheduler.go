@@ -1,0 +1,35 @@
+package gpusim
+
+// warpScheduler selects which warp an SM issues next. Implementations
+// may keep per-SM cursor state on the smRT they are handed, but must not
+// touch state belonging to other SMs: the parallel launch path calls
+// pick concurrently for SMs on different shards.
+type warpScheduler interface {
+	// pick returns a warp on sm that can issue at cycle now, or nil.
+	pick(sm *smRT, now uint64) *warpRT
+}
+
+// looseRoundRobin is GPGPU-Sim's default issue policy: scan from just
+// past the last issued warp, wrapping, and take the first warp that is
+// neither retired, finished, parked at a barrier, nor still waiting on a
+// previous instruction.
+type looseRoundRobin struct{}
+
+var _ warpScheduler = looseRoundRobin{}
+
+func (looseRoundRobin) pick(sm *smRT, now uint64) *warpRT {
+	n := len(sm.warps)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		idx := (sm.rr + 1 + i) % n
+		w := sm.warps[idx]
+		if w.retired || w.w.Done() || w.w.AtBarrier() || w.readyAt > now {
+			continue
+		}
+		sm.rr = idx
+		return w
+	}
+	return nil
+}

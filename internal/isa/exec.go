@@ -29,6 +29,15 @@ type Env struct {
 	Shared   []byte
 	BlockDim int
 	GridDim  int
+
+	// StoreBuf, when non-nil, defers stores to the launch-wide memory
+	// spaces: Exec records them instead of writing the arena, and the
+	// buffer's owner applies them later via StoreBuffer.Flush. Used by
+	// the shard-parallel timing simulator so concurrent warp execution
+	// never writes arenas shared across SMs. Global atomics cannot be
+	// deferred (their result depends on the in-cycle memory state) and
+	// fault when a buffer is attached.
+	StoreBuf *StoreBuffer
 }
 
 // MemAccess describes one lane's memory access within a warp instruction.
@@ -281,14 +290,17 @@ func (w *Warp) execMem(env *Env, t *Thread, ins *Instr, addr uint64) error {
 		}
 	case OpSt:
 		v := t.I[ins.Src2]
-		return storeRaw(arena, addr, ins.MType, uint64(v))
+		return w.store(env, ins, arena, addr, uint64(v))
 	case OpStF:
 		v := t.F[ins.Src2]
 		if ins.MType == F32 {
-			return storeRaw(arena, addr, ins.MType, uint64(math.Float32bits(float32(v))))
+			return w.store(env, ins, arena, addr, uint64(math.Float32bits(float32(v))))
 		}
-		return storeRaw(arena, addr, ins.MType, math.Float64bits(v))
+		return w.store(env, ins, arena, addr, math.Float64bits(v))
 	case OpAtom:
+		if env.StoreBuf != nil && deferredSpace(ins.Space) {
+			return fmt.Errorf("isa: atomic to %v space cannot execute under deferred stores (shard-parallel mode)", ins.Space)
+		}
 		raw, err := loadRaw(arena, addr, I32)
 		if err != nil {
 			return err
@@ -300,6 +312,15 @@ func (w *Warp) execMem(env *Env, t *Thread, ins *Instr, addr uint64) error {
 		t.I[ins.Dst] = old
 	}
 	return nil
+}
+
+// store applies or defers one device store depending on whether the Env
+// carries a store buffer and the space is shared across CTAs.
+func (w *Warp) store(env *Env, ins *Instr, arena []byte, addr uint64, raw uint64) error {
+	if env.StoreBuf != nil && deferredSpace(ins.Space) {
+		return env.StoreBuf.record(arena, addr, ins.MType, raw)
+	}
+	return storeRaw(arena, addr, ins.MType, raw)
 }
 
 func (w *Warp) execALU(env *Env, t *Thread, ins *Instr) {

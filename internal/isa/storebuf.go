@@ -1,0 +1,60 @@
+package isa
+
+import "fmt"
+
+// StoreBuffer collects stores to device memory instead of applying them
+// immediately. When Env.StoreBuf is non-nil, Exec records every store
+// whose target arena is shared across CTAs (any space except the per-CTA
+// shared and per-thread local arenas) and leaves the arena untouched;
+// the buffer's owner applies them later, in recorded order, with Flush.
+//
+// This exists for the shard-parallel timing simulator: warps of different
+// SMs execute concurrently, and Rodinia-style kernels legitimately issue
+// same-value writes to the same global location from different CTAs (BFS
+// marking a shared neighbor, for example) — benign on real hardware but a
+// data race between goroutines. Deferring the stores makes concurrent
+// execution read-only with respect to shared arenas; flushing them in a
+// deterministic order afterwards reproduces the sequential result.
+type StoreBuffer struct {
+	entries []bufferedStore
+}
+
+type bufferedStore struct {
+	arena []byte
+	addr  uint64
+	t     MemType
+	v     uint64
+}
+
+// record validates the store against the arena bounds (so faults surface
+// at the faulting instruction, exactly as immediate stores do) and queues
+// it.
+func (b *StoreBuffer) record(arena []byte, addr uint64, t MemType, v uint64) error {
+	if int(addr)+t.Size() > len(arena) {
+		return fmt.Errorf("isa: store of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+	}
+	b.entries = append(b.entries, bufferedStore{arena: arena, addr: addr, t: t, v: v})
+	return nil
+}
+
+// Len reports the number of pending stores.
+func (b *StoreBuffer) Len() int { return len(b.entries) }
+
+// Flush applies the buffered stores in the order they were recorded and
+// empties the buffer. Bounds were checked at record time, so Flush
+// cannot fault.
+func (b *StoreBuffer) Flush() {
+	for i := range b.entries {
+		e := &b.entries[i]
+		storeRaw(e.arena, e.addr, e.t, e.v)
+	}
+	b.entries = b.entries[:0]
+}
+
+// deferredSpace reports whether stores to the space must go through the
+// store buffer when one is attached: everything backed by the launch-wide
+// Memory. Shared and local arenas are private to a CTA (and hence to the
+// SM executing it), so they are always written in place.
+func deferredSpace(s Space) bool {
+	return s != SpaceShared && s != SpaceLocal
+}

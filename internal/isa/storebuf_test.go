@@ -1,0 +1,119 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// storeKernel: out[tid] = tid, plus a shared-memory scratch write so the
+// test can check that shared stores bypass the buffer.
+func storeKernel() *Kernel {
+	b := NewBuilder()
+	b.SetShared(32 * 4)
+	tid, addr, base := b.I(), b.I(), b.I()
+	b.Rd(tid, SpecTid)
+	b.LdParamI(base, 0)
+	b.ShlI(addr, tid, 2)
+	b.St(I32, SpaceShared, addr, 0, tid)
+	b.IAdd(addr, addr, base)
+	b.St(I32, SpaceGlobal, addr, 0, tid)
+	return b.Build("storebuf")
+}
+
+func runWarpToCompletion(t *testing.T, w *Warp, env *Env) {
+	t.Helper()
+	for !w.Done() {
+		if _, err := w.Exec(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreBufferDefersGlobalStores(t *testing.T) {
+	k := storeKernel()
+	mem := NewMemory()
+	out := mem.AllocGlobal(32 * 4)
+	mem.SetParamI(0, int64(out))
+
+	cta := MakeCTA(k, 0, Launch{Grid: 1, Block: 32}, mem)
+	buf := &StoreBuffer{}
+	cta.Env.StoreBuf = buf
+	runWarpToCompletion(t, cta.Warps[0], cta.Env)
+
+	// Global stores are pending, not applied; shared stores went through.
+	if buf.Len() != 32 {
+		t.Fatalf("buffered stores = %d, want 32", buf.Len())
+	}
+	for i := 0; i < 32; i++ {
+		if got := mem.ReadI32(SpaceGlobal, out+uint64(i*4)); got != 0 {
+			t.Fatalf("out[%d] = %d before Flush, want 0", i, got)
+		}
+	}
+	if got := int32(cta.Env.Shared[5*4]); got != 5 {
+		t.Fatalf("shared[5] = %d, want 5 (shared stores must apply immediately)", got)
+	}
+
+	buf.Flush()
+	if buf.Len() != 0 {
+		t.Fatalf("buffered stores = %d after Flush, want 0", buf.Len())
+	}
+	for i := 0; i < 32; i++ {
+		if got := mem.ReadI32(SpaceGlobal, out+uint64(i*4)); got != int32(i) {
+			t.Fatalf("out[%d] = %d after Flush, want %d", i, got, i)
+		}
+	}
+}
+
+func TestStoreBufferBoundsFaultAtRecordTime(t *testing.T) {
+	b := NewBuilder()
+	addr, v := b.I(), b.I()
+	b.MovI(addr, 1<<20) // far outside the arena
+	b.MovI(v, 7)
+	b.St(I32, SpaceGlobal, addr, 0, v)
+	k := b.Build("oob")
+
+	mem := NewMemory()
+	mem.AllocGlobal(64)
+	cta := MakeCTA(k, 0, Launch{Grid: 1, Block: 1}, mem)
+	cta.Env.StoreBuf = &StoreBuffer{}
+	w := cta.Warps[0]
+	var err error
+	for !w.Done() && err == nil {
+		_, err = w.Exec(cta.Env)
+	}
+	if err == nil || !strings.Contains(err.Error(), "exceeds arena") {
+		t.Fatalf("out-of-bounds deferred store: err = %v, want arena bounds fault", err)
+	}
+}
+
+func TestGlobalAtomicRejectedUnderDeferredStores(t *testing.T) {
+	b := NewBuilder()
+	d, addr, v := b.I(), b.I(), b.I()
+	b.LdParamI(addr, 0)
+	b.MovI(v, 1)
+	b.AtomAdd(d, SpaceGlobal, addr, 0, v)
+	k := b.Build("atom")
+
+	mem := NewMemory()
+	ctr := mem.AllocGlobal(4)
+	mem.SetParamI(0, int64(ctr))
+
+	// Without a buffer the atomic works.
+	cta := MakeCTA(k, 0, Launch{Grid: 1, Block: 1}, mem)
+	runWarpToCompletion(t, cta.Warps[0], cta.Env)
+	if got := mem.ReadI32(SpaceGlobal, ctr); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+
+	// With one attached it must fault rather than race or misorder.
+	cta = MakeCTA(k, 0, Launch{Grid: 1, Block: 1}, mem)
+	cta.Env.StoreBuf = &StoreBuffer{}
+	w := cta.Warps[0]
+	var err error
+	for !w.Done() && err == nil {
+		_, err = w.Exec(cta.Env)
+	}
+	if err == nil || !strings.Contains(err.Error(), "atomic") {
+		t.Fatalf("global atomic under deferred stores: err = %v, want atomic fault", err)
+	}
+}
