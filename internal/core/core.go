@@ -7,6 +7,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/gpusim"
@@ -111,12 +113,47 @@ func CharacterizeCPU(w *workloads.Workload) *CPUProfile {
 	}
 }
 
-// CharacterizeCPUAll profiles the given workloads in order.
+// CharacterizeCPUAll profiles the given workloads on a GOMAXPROCS-wide
+// worker pool, returning profiles in input order.
 func CharacterizeCPUAll(ws []*workloads.Workload) []*CPUProfile {
-	out := make([]*CPUProfile, len(ws))
-	for i, w := range ws {
-		out[i] = CharacterizeCPU(w)
+	return CharacterizeCPUAllWorkers(ws, 0)
+}
+
+// CharacterizeCPUAllWorkers profiles the given workloads on up to the
+// given number of worker goroutines (≤ 0 means GOMAXPROCS). Each worker
+// builds its own harness and consumers, so workloads never share mutable
+// state; profiles are returned in input order and are identical to a
+// serial pass regardless of the worker count.
+func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProfile {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	out := make([]*CPUProfile, len(ws))
+	if workers <= 1 {
+		for i, w := range ws {
+			out[i] = CharacterizeCPU(w)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = CharacterizeCPU(ws[i])
+			}
+		}()
+	}
+	for i := range ws {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return out
 }
 

@@ -41,6 +41,11 @@ type Context struct {
 	// before trusting its statistics.
 	Check bool
 
+	// Workers bounds the CPU-profiling worker pool used by Profiles
+	// (≤ 0 means GOMAXPROCS). Whatever the value, the single memoized
+	// pass yields profiles identical to a serial one.
+	Workers int
+
 	mu       sync.Mutex
 	gpuCalls map[string]*gpuCall
 	profCall *profilesCall
@@ -87,7 +92,10 @@ func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, e
 	return call.stats, call.err
 }
 
-// Profiles characterizes every CPU workload once, memoized.
+// Profiles characterizes every CPU workload once, memoized with the same
+// singleflight semantics as GPU: however many Figure 6-12 experiments race
+// here, exactly one profiling pass runs (fanned across Workers goroutines)
+// and the rest wait for its result.
 func (c *Context) Profiles() []*core.CPUProfile {
 	c.mu.Lock()
 	call := c.profCall
@@ -95,7 +103,7 @@ func (c *Context) Profiles() []*core.CPUProfile {
 		call = &profilesCall{done: make(chan struct{})}
 		c.profCall = call
 		c.mu.Unlock()
-		call.profiles = core.CharacterizeCPUAll(workloads.All())
+		call.profiles = core.CharacterizeCPUAllWorkers(workloads.All(), c.Workers)
 		close(call.done)
 		return call.profiles
 	}

@@ -7,7 +7,10 @@
 // in internal/cachesim.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind classifies a modeled instruction.
 type Kind uint8
@@ -36,9 +39,38 @@ type Event struct {
 	Tid   uint8
 }
 
-// Consumer receives the interleaved event stream.
+// Consumer receives the interleaved event stream one record at a time.
+// It remains the compatibility interface; the harness delivers to it
+// through an adapter over the batched path.
 type Consumer interface {
 	Event(e *Event)
+}
+
+// BatchConsumer receives the interleaved event stream in contiguous
+// chunks. Batches alias harness-owned buffers that are recycled after
+// the enclosing region completes, so implementations must not retain
+// the slice (or pointers into it) beyond the call. Consumers that also
+// implement BatchConsumer are fed through it, skipping the per-event
+// virtual call.
+type BatchConsumer interface {
+	Events(batch []Event)
+}
+
+// eventAdapter feeds a batch to a legacy per-event Consumer.
+type eventAdapter struct{ c Consumer }
+
+func (a eventAdapter) Events(batch []Event) {
+	for i := range batch {
+		a.c.Event(&batch[i])
+	}
+}
+
+// asBatch returns c's batched interface, wrapping per-event consumers.
+func asBatch(c Consumer) BatchConsumer {
+	if bc, ok := c.(BatchConsumer); ok {
+		return bc
+	}
+	return eventAdapter{c: c}
 }
 
 // CodeBlock models a static code region (a function or hot loop). Its
@@ -64,7 +96,7 @@ const codePageAlign = 64
 type Harness struct {
 	Threads int
 
-	consumers []Consumer
+	consumers []BatchConsumer
 	dataTop   uint64
 	codeTop   uint64
 	blocks    []*CodeBlock
@@ -73,7 +105,7 @@ type Harness struct {
 	// turn when interleaving a parallel region.
 	Granularity int
 
-	serialCtx *Ctx
+	serialBlock *CodeBlock
 }
 
 // NewHarness builds a harness for the given thread count.
@@ -81,13 +113,23 @@ func NewHarness(threads int, consumers ...Consumer) *Harness {
 	if threads < 1 || threads > 64 {
 		panic(fmt.Sprintf("trace: invalid thread count %d", threads))
 	}
-	return &Harness{
+	h := &Harness{
 		Threads:     threads,
-		consumers:   consumers,
 		dataTop:     1 << 20, // data space starts at 1 MiB
 		codeTop:     1 << 30, // code space is disjoint from data
 		Granularity: 64,
 	}
+	for _, c := range consumers {
+		h.consumers = append(h.consumers, asBatch(c))
+	}
+	return h
+}
+
+// AddBatchConsumer registers a consumer that only speaks the batched
+// interface. Consumers registered through NewHarness that also implement
+// BatchConsumer are already fed through it.
+func (h *Harness) AddBatchConsumer(bc BatchConsumer) {
+	h.consumers = append(h.consumers, bc)
 }
 
 // Alloc reserves a modeled data region of size bytes, page-aligned, and
@@ -135,6 +177,7 @@ type Ctx struct {
 	block *CodeBlock
 	pcOff uint64
 	buf   []Event
+	pos   int // merge cursor into buf during Parallel interleaving
 }
 
 // At sets the executing code block; subsequent events take PCs from it.
@@ -182,52 +225,88 @@ func (c *Ctx) Branch(n int) {
 	c.buf = append(c.buf, Event{Kind: KindBranch, Count: uint32(n), PC: c.pc(), Tid: c.tid})
 }
 
-func (h *Harness) emit(e *Event) {
+// emitChunk bounds the batch size of serial emission so a chunk stays
+// cache-resident while each consumer scans it.
+const emitChunk = 4096
+
+// bufPool recycles per-thread event buffers across regions, harnesses
+// and worker goroutines.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]Event, 0, emitChunk)
+	return &b
+}}
+
+func getBuf() []Event {
+	return (*bufPool.Get().(*[]Event))[:0]
+}
+
+func putBuf(b []Event) {
+	bufPool.Put(&b)
+}
+
+func (h *Harness) emitBatch(batch []Event) {
+	if len(batch) == 0 {
+		return
+	}
 	for _, cons := range h.consumers {
-		cons.Event(e)
+		cons.Events(batch)
 	}
 }
 
 // Serial runs f as thread 0, streaming its events in program order.
 func (h *Harness) Serial(f func(c *Ctx)) {
-	c := &Ctx{h: h, tid: 0}
-	if h.serialCtx != nil {
-		c.block = h.serialCtx.block
-	}
+	c := &Ctx{h: h, tid: 0, block: h.serialBlock, buf: getBuf()}
 	f(c)
-	h.serialCtx = c
-	for i := range c.buf {
-		h.emit(&c.buf[i])
+	h.serialBlock = c.block
+	for lo := 0; lo < len(c.buf); lo += emitChunk {
+		hi := lo + emitChunk
+		if hi > len(c.buf) {
+			hi = len(c.buf)
+		}
+		h.emitBatch(c.buf[lo:hi])
 	}
+	putBuf(c.buf)
 }
 
 // Parallel runs f once per thread (sequentially, for determinism), then
 // interleaves the recorded per-thread streams round-robin at the harness
 // granularity — modeling the concurrent execution of an OpenMP parallel
-// region on a shared cache.
+// region on a shared cache. Each turn's slice is handed to the consumers
+// as one batch, and threads whose streams are exhausted drop out of the
+// rotation instead of being rescanned every round.
 func (h *Harness) Parallel(f func(tid int, c *Ctx)) {
 	ctxs := make([]*Ctx, h.Threads)
 	for t := 0; t < h.Threads; t++ {
-		c := &Ctx{h: h, tid: uint8(t)}
+		c := &Ctx{h: h, tid: uint8(t), buf: getBuf()}
 		f(t, c)
 		ctxs[t] = c
 	}
-	// Round-robin merge.
-	idx := make([]int, h.Threads)
-	remaining := 0
-	for _, c := range ctxs {
-		remaining += len(c.buf)
+	g := h.Granularity
+	if g < 1 {
+		g = 1
 	}
-	for remaining > 0 {
-		for t := 0; t < h.Threads; t++ {
-			c := ctxs[t]
-			n := h.Granularity
-			for n > 0 && idx[t] < len(c.buf) {
-				h.emit(&c.buf[idx[t]])
-				idx[t]++
-				n--
-				remaining--
+	active := make([]*Ctx, 0, h.Threads)
+	for _, c := range ctxs {
+		if len(c.buf) > 0 {
+			active = append(active, c)
+		}
+	}
+	for len(active) > 0 {
+		live := active[:0]
+		for _, c := range active {
+			n := g
+			if rest := len(c.buf) - c.pos; n > rest {
+				n = rest
+			}
+			h.emitBatch(c.buf[c.pos : c.pos+n])
+			c.pos += n
+			if c.pos < len(c.buf) {
+				live = append(live, c)
 			}
 		}
+		active = live
+	}
+	for _, c := range ctxs {
+		putBuf(c.buf)
 	}
 }
