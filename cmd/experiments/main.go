@@ -8,6 +8,7 @@
 //	experiments -nocheck     # skip functional validation of GPU kernels
 //	experiments -out results # also write one <id>.txt per artifact
 //	experiments -parallel 0  # fan out across GOMAXPROCS workers
+//	experiments -cpuprofile cpu.prof -memprofile mem.prof
 //
 // With -parallel, independent experiments run concurrently on a shared
 // context whose singleflight memoization still executes each underlying
@@ -21,11 +22,31 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// writeMemProfile records a heap profile after a final GC so the numbers
+// reflect live allocations, not collectable garbage. A no-op when path is
+// empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
@@ -33,7 +54,23 @@ func main() {
 	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
 	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
 	parallel := flag.Int("parallel", 1, "experiment worker count; 0 means GOMAXPROCS")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -99,6 +136,12 @@ func main() {
 		}
 	})
 	if failed {
+		// os.Exit skips defers; the run itself completed, so flush the
+		// profiles before reporting failure.
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		writeMemProfile(*memprofile)
 		os.Exit(1)
 	}
 }

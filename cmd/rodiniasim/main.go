@@ -9,6 +9,8 @@
 //	rodiniasim -nocheck             # skip functional validation
 //	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
 //	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
+//	rodiniasim -cpuprofile cpu.prof # write a pprof CPU profile of the run
+//	rodiniasim -memprofile mem.prof # write a pprof heap profile at exit
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +27,25 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 )
+
+// writeMemProfile records a heap profile after a final GC so the numbers
+// reflect live allocations, not collectable garbage. A no-op when path is
+// empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}
 
 func configByName(name string) (gpusim.Config, error) {
 	switch name {
@@ -48,7 +70,23 @@ func main() {
 	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
 	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently; 0 means GOMAXPROCS")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	cfg, err := configByName(*cfgName)
 	if err != nil {

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+)
+
+// TestGPUStatsMatchReferenceInterpreter is the acceptance differential for
+// the flat-register fast path: for every benchmark, the optimized warp
+// interpreter (pre-decoded kernels, register-major files, allocation-free
+// memory pipeline) must produce Stats deeply equal to the retained
+// per-thread reference interpreter (Config.ReferenceInterp), on both the
+// sequential and the shard-parallel simulation paths. Run under -race in
+// CI, the parallel legs also prove the fast path race-clean.
+func TestGPUStatsMatchReferenceInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization sweep in -short mode")
+	}
+	run := func(b *kernels.Benchmark, ref bool, workers int) *gpusim.Stats {
+		t.Helper()
+		cfg := gpusim.Base()
+		cfg.ReferenceInterp = ref
+		cfg.ShardWorkers = workers
+		st, err := CharacterizeGPU(b, cfg, false)
+		if err != nil {
+			t.Fatalf("ref=%v workers=%d: %v", ref, workers, err)
+		}
+		return st
+	}
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			want := run(b, true, 0)
+			if got := run(b, false, 0); !reflect.DeepEqual(got, want) {
+				t.Errorf("sequential: optimized interpreter diverges from reference\n got: %+v\nwant: %+v", got, want)
+			}
+			wantPar := run(b, true, 3)
+			if !reflect.DeepEqual(wantPar, want) {
+				t.Errorf("reference interpreter not shard-deterministic\n got: %+v\nwant: %+v", wantPar, want)
+			}
+			if got := run(b, false, 3); !reflect.DeepEqual(got, want) {
+				t.Errorf("shard-parallel: optimized interpreter diverges from reference\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}

@@ -65,6 +65,13 @@ type Config struct {
 	// must run sequentially (the parallel path defers device stores and
 	// faults on atomics); no Rodinia kernel does.
 	ShardWorkers int
+
+	// ReferenceInterp is a host-side validation knob: when set, warps run
+	// on the retained per-thread reference interpreter (isa.RefWarp)
+	// instead of the optimized flat-register one. Results are required to
+	// be bit-identical; internal/core's differential tests pin that across
+	// all twelve benchmarks.
+	ReferenceInterp bool
 }
 
 // Validate reports configuration errors.

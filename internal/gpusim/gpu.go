@@ -46,7 +46,7 @@ func New(cfg Config) (*GPU, error) {
 		Stats:   NewStats(cfg.Name),
 		sched:   looseRoundRobin{},
 		l2:      newCache(cfg.L2CacheKB, 8, cfg.LineSize),
-		sharing: newSharingTracker(),
+		sharing: newSharingTracker(cfg.LineSize),
 	}
 	g.Stats.PeakBytesPerCycle = cfg.dramBytesPerCoreCycle() * float64(cfg.MemChannels)
 	for i := 0; i < cfg.NumSMs; i++ {
@@ -98,9 +98,10 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 	}
 	d := newDRAM(&g.cfg)
 	ls := &launchState{
-		g:    g,
-		dram: d,
-		ms:   newMemSubsystem(&g.cfg, g.l2, d, g.sharing),
+		g:      g,
+		dram:   d,
+		ms:     newMemSubsystem(&g.cfg, g.l2, d, g.sharing),
+		issueC: g.cfg.issueCycles(),
 	}
 	for i, spec := range specs {
 		if err := spec.Launch.Validate(); err != nil {

@@ -7,15 +7,26 @@ import (
 )
 
 type warpRT struct {
-	w       *isa.Warp
+	w       isa.WarpExec
 	cta     *ctaRT
 	readyAt uint64
 	retired bool
+
+	// done and barrier cache w.Done() and w.AtBarrier(), and blocked is
+	// their disjunction with retired: the scheduler and nextEvent scan
+	// every warp on an SM each cycle, and the cached flags keep those hot
+	// loops down to one byte load with no interface dispatch. execOne
+	// updates them from the Step; checkRelease clears barrier/blocked on
+	// release.
+	done    bool
+	barrier bool
+	blocked bool
 }
 
 type ctaRT struct {
 	cta     *isa.CTA
 	spec    *runSpec
+	sm      *smRT // the SM the CTA is resident on
 	warps   []*warpRT
 	live    int
 	waiting int
@@ -26,6 +37,14 @@ type smRT struct {
 	warps       []*warpRT
 	issueFreeAt uint64
 	rr          int
+
+	// skipUntil is a lower bound on the next cycle any warp on this SM can
+	// issue, recorded when a scheduler scan comes up empty so subsequent
+	// cycles skip the SM without rescanning. It is scheduler-independent
+	// (no policy can issue a warp before its readyAt) and is reset to 0
+	// whenever a warp's readiness changes outside settleTiming: barrier
+	// release and CTA placement.
+	skipUntil uint64
 
 	// storeBuf, when non-nil, defers the SM's device-memory stores so the
 	// parallel path can execute SMs concurrently; the coordinator flushes
@@ -39,6 +58,23 @@ type smRT struct {
 	usedThreads int
 	usedRegs    int
 	usedShared  int
+
+	// bankScr is the SM's scratch for the shared-memory bank-conflict
+	// model; SM-owned so concurrent shards price conflicts without
+	// allocating or sharing state.
+	bankScr bankScratch
+}
+
+// nextReady returns the earliest readyAt among the SM's unblocked warps,
+// or the maximum cycle if none could ever issue without outside help.
+func (sm *smRT) nextReady() uint64 {
+	best := ^uint64(0)
+	for _, w := range sm.warps {
+		if !w.blocked && w.readyAt < best {
+			best = w.readyAt
+		}
+	}
+	return best
 }
 
 // fits reports whether one more CTA of the spec fits on the SM.
@@ -107,6 +143,10 @@ type launchState struct {
 	rrSpec  int
 	pending int // CTAs not yet finished
 	now     uint64
+
+	// issueC caches cfg.issueCycles(): the division would otherwise sit on
+	// the per-instruction path.
+	issueC uint64
 }
 
 // fill assigns pending CTAs round-robin across kernels to an SM while its
@@ -120,14 +160,25 @@ func (ls *launchState) fill(sm *smRT) {
 				continue
 			}
 			ls.rrSpec = (ls.rrSpec + i + 1) % len(ls.specs)
-			cta := isa.MakeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
+			makeCTA := isa.MakeCTA
+			if ls.g.cfg.ReferenceInterp {
+				makeCTA = isa.MakeCTARef
+			}
+			cta := makeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
 			cta.Env.StoreBuf = sm.storeBuf
 			sp.nextCTA++
-			rt := &ctaRT{cta: cta, spec: sp}
-			for _, w := range cta.Warps {
-				wrt := &warpRT{w: w, cta: rt, readyAt: ls.now}
+			rt := &ctaRT{cta: cta, spec: sp, sm: sm}
+			// One contiguous warpRT block per CTA: the scheduler scans
+			// these structs every cycle, and adjacency keeps the scan on
+			// few cache lines.
+			wrts := make([]warpRT, len(cta.Warps))
+			for i, w := range cta.Warps {
+				wrt := &wrts[i]
+				wrt.w, wrt.cta, wrt.readyAt = w, rt, ls.now
+				wrt.done = w.Done()
+				wrt.blocked = wrt.done
 				rt.warps = append(rt.warps, wrt)
-				if !w.Done() {
+				if !wrt.done {
 					rt.live++
 				}
 				sm.warps = append(sm.warps, wrt)
@@ -136,6 +187,7 @@ func (ls *launchState) fill(sm *smRT) {
 			sm.usedThreads += sp.launch.Block
 			sm.usedRegs += sp.k.Regs() * sp.launch.Block
 			sm.usedShared += sp.k.SharedBytes
+			sm.skipUntil = 0 // fresh warps are ready now
 			placed = true
 			break
 		}
@@ -149,13 +201,14 @@ func (ls *launchState) fill(sm *smRT) {
 // one warp instruction, in SM index order. When no warp can issue the
 // clock jumps to the next event.
 func (ls *launchState) run() error {
+	var step issuedStep
 	for ls.pending > 0 {
 		issued := false
 		for _, sm := range ls.sms {
-			if sm.issueFreeAt > ls.now {
+			if sm.issueFreeAt > ls.now || sm.skipUntil > ls.now {
 				continue
 			}
-			step, ok, err := ls.execOne(sm, ls.sink)
+			ok, err := ls.execOne(sm, ls.sink, &step)
 			if err != nil {
 				// Functional faults are kernel bugs; surface them loudly
 				// rather than silently corrupting the run.
@@ -167,7 +220,7 @@ func (ls *launchState) run() error {
 			if step.mem {
 				ls.priceShared(sm, &step)
 			}
-			ls.settleTiming(sm, step)
+			ls.settleTiming(sm, &step)
 			ls.maybeRetire(sm, step.w)
 			issued = true
 		}
@@ -195,13 +248,29 @@ func (ls *launchState) deadlock() error {
 		ls.specs[0].k.Name, ls.now, ls.pending)
 }
 
-// nextEvent finds the earliest cycle at which any warp could issue.
+// nextEvent finds the earliest cycle at which any warp could issue. An SM
+// whose scheduler scan already recorded a skip bound contributes that
+// bound directly; the bound is conservative (warps only get later, and
+// releases reset it to zero), so at worst the clock advances in more than
+// one hop, never past a real event.
 func (ls *launchState) nextEvent() (uint64, bool) {
 	best := ^uint64(0)
 	found := false
 	for _, sm := range ls.sms {
+		if s := sm.skipUntil; s > ls.now {
+			if s != ^uint64(0) {
+				if sm.issueFreeAt > s {
+					s = sm.issueFreeAt
+				}
+				if s < best {
+					best = s
+					found = true
+				}
+			}
+			continue
+		}
 		for _, w := range sm.warps {
-			if w.retired || w.w.Done() || w.w.AtBarrier() {
+			if w.blocked {
 				continue
 			}
 			at := w.readyAt
@@ -225,18 +294,32 @@ func (ls *launchState) nextEvent() (uint64, bool) {
 // launch-global memory system are returned with mem=true for the caller
 // to price via priceShared. Safe to call concurrently for SMs on
 // different shards when each shard has its own sink.
-func (ls *launchState) execOne(sm *smRT, sink statsSink) (issuedStep, bool, error) {
+func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep) (bool, error) {
+	if sm.skipUntil > ls.now {
+		return false, nil
+	}
 	w := ls.g.sched.pick(sm, ls.now)
 	if w == nil {
-		return issuedStep{}, false, nil
+		sm.skipUntil = sm.nextReady()
+		return false, nil
 	}
-	st, err := w.w.Exec(w.cta.cta.Env)
-	if err != nil {
-		return issuedStep{}, false, err
+	st := &out.st
+	if err := w.w.Exec(w.cta.cta.Env, st); err != nil {
+		return false, err
+	}
+	out.w = w
+	out.mem = false
+	if st.AtBarrier {
+		w.barrier = true
+		w.blocked = true
+	}
+	if st.Done {
+		w.done = true
+		w.blocked = true
 	}
 	cfg := &ls.g.cfg
 	gs, ks := sink.g, sink.k[w.cta.spec.idx]
-	issue := cfg.issueCycles()
+	issue := ls.issueC
 	lat := uint64(cfg.ALULatency)
 
 	gs.WarpInstrs++
@@ -252,7 +335,6 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink) (issuedStep, bool, erro
 		ks.Occupancy[bucket]++
 	}
 
-	step := issuedStep{w: w}
 	switch st.Instr.Op.Class() {
 	case isa.ClassALU:
 	case isa.ClassSFU:
@@ -269,17 +351,16 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink) (issuedStep, bool, erro
 		gs.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
 		ks.MemOps[st.Instr.Space] += uint64(st.ActiveCount)
 		if sharedSpace(st.Instr.Space) {
-			step.st = st
-			step.mem = true
+			out.mem = true
 		} else {
-			issue, lat = ls.ms.localCost(st, issue, gs, ks)
+			issue, lat = ls.ms.localCost(st, issue, gs, ks, &sm.bankScr)
 		}
 	case isa.ClassBar:
 		ls.barrier(w)
 	case isa.ClassExit:
 	}
-	step.issue, step.lat = issue, lat
-	return step, true, nil
+	out.issue, out.lat = issue, lat
+	return true, nil
 }
 
 // priceShared completes the pricing of a mem step through the shared
@@ -288,11 +369,11 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink) (issuedStep, bool, erro
 // they accompany is launch-global.
 func (ls *launchState) priceShared(sm *smRT, step *issuedStep) {
 	step.issue, step.lat = ls.ms.sharedCost(
-		ls.now, sm.caches, step.w.cta.cta.Index, step.st, step.issue, ls.sink.g)
+		ls.now, sm.caches, step.w.cta.cta.Index, &step.st, step.issue, ls.sink.g)
 }
 
 // settleTiming applies an issued step's charges to the SM and warp.
-func (ls *launchState) settleTiming(sm *smRT, step issuedStep) {
+func (ls *launchState) settleTiming(sm *smRT, step *issuedStep) {
 	sm.issueFreeAt = ls.now + step.issue
 	step.w.readyAt = ls.now + step.lat
 }
@@ -301,7 +382,7 @@ func (ls *launchState) settleTiming(sm *smRT, step issuedStep) {
 // launch-global dispatch state (pending, rrSpec, CTA cursors), so the
 // parallel path defers it to the serialized phase.
 func (ls *launchState) maybeRetire(sm *smRT, w *warpRT) {
-	if w.w.Done() && !w.retired {
+	if w.done && !w.retired {
 		ls.retire(sm, w)
 	}
 }
@@ -318,17 +399,21 @@ func (ls *launchState) checkRelease(cta *ctaRT) {
 	}
 	cta.waiting = 0
 	for _, o := range cta.warps {
-		if o.w.AtBarrier() {
+		if o.barrier {
 			o.w.ReleaseBarrier()
+			o.barrier = false
+			o.blocked = o.done || o.retired
 			if o.readyAt < ls.now+1 {
 				o.readyAt = ls.now + 1
 			}
 		}
 	}
+	cta.sm.skipUntil = 0 // released warps may issue next cycle
 }
 
 func (ls *launchState) retire(sm *smRT, w *warpRT) {
 	w.retired = true
+	w.blocked = true
 	cta := w.cta
 	cta.live--
 	if cta.live > 0 {

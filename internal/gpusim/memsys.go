@@ -68,67 +68,129 @@ func newBankModel(cfg *Config) bankModel {
 	return bankModel{banks: banks, enabled: cfg.BankConflicts}
 }
 
-func (m bankModel) degree(accesses []isa.MemAccess) int {
+// bankScratch is fixed-size per-SM bookkeeping for degree: per bank, the
+// distinct words seen in the current lane group. A warp has at most 32
+// lanes, so 32 words per bank always suffice, and reusing the scratch
+// keeps the conflict model allocation-free on the hot path. Each SM owns
+// one (smRT.bankScr) so concurrent shards never share it.
+type bankScratch struct {
+	words [32][32]uint64
+	count [32]uint8
+}
+
+func (m bankModel) degree(accesses []isa.MemAccess, scr *bankScratch) int {
 	if !m.enabled {
 		return 1
 	}
 	banks := m.banks
-	// Small fixed-size bookkeeping: per bank, the set of distinct words.
-	var words [32][]uint64
 	degree := 1
 	group := -1
 	for _, a := range accesses {
 		if g := a.Lane / banks; g != group {
 			group = g
 			for i := 0; i < banks; i++ {
-				words[i] = words[i][:0]
+				scr.count[i] = 0
 			}
 		}
 		word := a.Addr >> 2
 		bank := int(word) % banks
+		n := int(scr.count[bank])
 		seen := false
-		for _, x := range words[bank] {
+		for _, x := range scr.words[bank][:n] {
 			if x == word {
 				seen = true
 				break
 			}
 		}
 		if !seen {
-			words[bank] = append(words[bank], word)
-			if len(words[bank]) > degree {
-				degree = len(words[bank])
+			scr.words[bank][n] = word
+			scr.count[bank] = uint8(n + 1)
+			if n+1 > degree {
+				degree = n + 1
 			}
 		}
 	}
 	return degree
 }
 
+// The sharing tracker's dense table covers line indices below
+// shareDenseMax (with a 64-byte line that is the first 1 GiB of global
+// address space — far beyond any benchmark arena here), allocated in
+// pages so sparse address ranges cost nothing. Lines beyond it spill to
+// a map, preserving correctness for arbitrary addresses.
+const (
+	sharePageBits = 12
+	sharePageSize = 1 << sharePageBits
+	shareDenseMax = 1 << 24
+)
+
 // sharingTracker records which CTA first touched each global line,
-// feeding the inter-CTA sharing statistics; -1 marks lines already
-// shared. It persists across launches on the GPU, like the caches.
+// feeding the inter-CTA sharing statistics. It persists across launches
+// on the GPU, like the caches. Ownership is kept in a paged dense table
+// indexed by line number rather than a map — tracking is on the pricing
+// path of every global-memory instruction — encoded as 0 for untouched,
+// -1 for shared, and cta+1 for a single-owner line.
 type sharingTracker struct {
-	owner map[uint64]int32
+	lineShift uint
+	pages     [][]int32
+	spill     map[uint64]int32
 }
 
-func newSharingTracker() *sharingTracker {
-	return &sharingTracker{owner: make(map[uint64]int32)}
+func newSharingTracker(lineSize int) *sharingTracker {
+	var shift uint
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	return &sharingTracker{
+		lineShift: shift,
+		pages:     make([][]int32, shareDenseMax/sharePageSize),
+	}
 }
 
 func (t *sharingTracker) track(cta int, lines []uint64, gs *Stats) {
 	for _, line := range lines {
 		gs.GlobalLineAccesses++
-		owner, seen := t.owner[line]
-		switch {
-		case !seen:
-			t.owner[line] = int32(cta)
+		idx := line >> t.lineShift
+		if idx >= shareDenseMax {
+			t.trackSpill(cta, line, gs)
+			continue
+		}
+		pg := t.pages[idx>>sharePageBits]
+		if pg == nil {
+			pg = make([]int32, sharePageSize)
+			t.pages[idx>>sharePageBits] = pg
+		}
+		slot := &pg[idx&(sharePageSize-1)]
+		switch owner := *slot; {
+		case owner == 0:
+			*slot = int32(cta) + 1
 			gs.GlobalLines++
 		case owner == -1:
 			gs.InterCTAAccesses++
-		case owner != int32(cta):
-			t.owner[line] = -1
+		case owner != int32(cta)+1:
+			*slot = -1
 			gs.InterCTALines++
 			gs.InterCTAAccesses++
 		}
+	}
+}
+
+// trackSpill handles lines beyond the dense table's coverage.
+func (t *sharingTracker) trackSpill(cta int, line uint64, gs *Stats) {
+	if t.spill == nil {
+		t.spill = make(map[uint64]int32)
+	}
+	owner, seen := t.spill[line]
+	switch {
+	case !seen:
+		t.spill[line] = int32(cta)
+		gs.GlobalLines++
+	case owner == -1:
+		gs.InterCTAAccesses++
+	case owner != int32(cta):
+		t.spill[line] = -1
+		gs.InterCTALines++
+		gs.InterCTAAccesses++
 	}
 }
 
@@ -238,11 +300,11 @@ func sharedSpace(sp isa.Space) bool {
 // localCost prices the memory spaces private to an SM — parameter reads
 // and shared memory with its bank conflicts — charging conflict cycles
 // to gs and ks. Safe under concurrent per-shard execution.
-func (ms *memSubsystem) localCost(st isa.Step, issue uint64, gs, ks *Stats) (uint64, uint64) {
+func (ms *memSubsystem) localCost(st *isa.Step, issue uint64, gs, ks *Stats, scr *bankScratch) (uint64, uint64) {
 	if st.Instr.Space == isa.SpaceParam {
 		return issue, uint64(ms.cfg.ParamLatency)
 	}
-	degree := ms.banks.degree(st.Accesses)
+	degree := ms.banks.degree(st.Accesses, scr)
 	if degree > 1 {
 		extra := uint64(degree-1) * issue
 		gs.BankConflictCycles += extra
@@ -255,7 +317,7 @@ func (ms *memSubsystem) localCost(st isa.Step, issue uint64, gs, ks *Stats) (uin
 // sharedCost prices the memory spaces that go through the cache
 // hierarchy and DRAM channels (constant, texture, global, local,
 // atomics). Callers must serialize invocations in SM index order.
-func (ms *memSubsystem) sharedCost(now uint64, caches *smCaches, cta int, st isa.Step, issue uint64, gs *Stats) (uint64, uint64) {
+func (ms *memSubsystem) sharedCost(now uint64, caches *smCaches, cta int, st *isa.Step, issue uint64, gs *Stats) (uint64, uint64) {
 	switch st.Instr.Space {
 	case isa.SpaceConst:
 		lines := ms.coal.lines(st.Accesses, 0)

@@ -114,7 +114,7 @@ func (ls *launchState) runParallel(workers int) error {
 			if sm.issueFreeAt > ls.now {
 				continue
 			}
-			step, ok, err := ls.execOne(sm, shards[wid])
+			ok, err := ls.execOne(sm, shards[wid], &steps[s])
 			if err != nil {
 				errSM[s] = err
 				continue
@@ -122,10 +122,9 @@ func (ls *launchState) runParallel(workers int) error {
 			if !ok {
 				continue
 			}
-			if !step.mem {
-				ls.settleTiming(sm, step)
+			if !steps[s].mem {
+				ls.settleTiming(sm, &steps[s])
 			}
-			steps[s] = step
 			issuedSM[s] = true
 		}
 	}
@@ -164,9 +163,9 @@ func (ls *launchState) runParallel(workers int) error {
 				continue
 			}
 			issued = true
-			sm, step := ls.sms[s], steps[s]
+			sm, step := ls.sms[s], &steps[s]
 			if step.mem {
-				ls.priceShared(sm, &step)
+				ls.priceShared(sm, step)
 				ls.settleTiming(sm, step)
 			}
 			ls.maybeRetire(sm, step.w)

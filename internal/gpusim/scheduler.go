@@ -22,14 +22,19 @@ func (looseRoundRobin) pick(sm *smRT, now uint64) *warpRT {
 	if n == 0 {
 		return nil
 	}
+	idx := sm.rr + 1
+	if idx >= n {
+		idx = 0
+	}
 	for i := 0; i < n; i++ {
-		idx := (sm.rr + 1 + i) % n
 		w := sm.warps[idx]
-		if w.retired || w.w.Done() || w.w.AtBarrier() || w.readyAt > now {
-			continue
+		if !w.blocked && w.readyAt <= now {
+			sm.rr = idx
+			return w
 		}
-		sm.rr = idx
-		return w
+		if idx++; idx >= n {
+			idx = 0
+		}
 	}
 	return nil
 }

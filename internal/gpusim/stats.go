@@ -18,8 +18,12 @@ type Stats struct {
 	Launches     int
 	CTAs         int
 
-	// MemOps counts thread-level memory operations per space (Figure 2).
-	MemOps map[isa.Space]uint64
+	// MemOps counts thread-level memory operations per space (Figure 2),
+	// indexed by isa.Space. A dense array rather than a map: the timing
+	// loop increments it once per memory instruction, and array indexing
+	// keeps that charge allocation- and hash-free (and iteration order
+	// deterministic).
+	MemOps [isa.NumSpaces]uint64
 
 	// Occupancy buckets issued warp instructions by active thread count:
 	// 1-8, 9-16, 17-24, 25-32 (Figure 3).
@@ -71,7 +75,7 @@ func (s *Stats) Kernel(name string) *Stats {
 
 // NewStats returns zeroed stats for the named configuration.
 func NewStats(config string) *Stats {
-	return &Stats{Config: config, MemOps: make(map[isa.Space]uint64)}
+	return &Stats{Config: config}
 }
 
 // IPC is thread instructions committed per cycle, GPGPU-Sim's definition.
@@ -99,7 +103,10 @@ func (s *Stats) MemOpsTotal() uint64 {
 	return t
 }
 
-// MemMix returns the fraction of memory operations hitting each space.
+// MemMix returns the fraction of memory operations hitting each space,
+// visiting spaces in ascending index order so callers that render the mix
+// see a deterministic construction (only spaces with operations appear,
+// matching the map-keyed counter this replaced).
 func (s *Stats) MemMix() map[isa.Space]float64 {
 	mix := make(map[isa.Space]float64, len(s.MemOps))
 	total := s.MemOpsTotal()
@@ -107,7 +114,10 @@ func (s *Stats) MemMix() map[isa.Space]float64 {
 		return mix
 	}
 	for sp, v := range s.MemOps {
-		mix[sp] = float64(v) / float64(total)
+		if v == 0 {
+			continue
+		}
+		mix[isa.Space(sp)] = float64(v) / float64(total)
 	}
 	return mix
 }

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -10,17 +11,6 @@ import (
 // pipeline width of a simulated GPU may be narrower; the timing model then
 // charges multiple issue cycles per warp instruction.
 const WarpSize = 32
-
-// Thread holds one thread's architectural state.
-type Thread struct {
-	I      []int64
-	F      []float64
-	P      []bool
-	Tid    int // thread index within the CTA
-	Cta    int // CTA index within the grid
-	Local  []byte
-	Exited bool
-}
 
 // Env is the memory environment a warp executes against: the launch-wide
 // Memory plus its CTA's shared-memory arena and the launch geometry.
@@ -61,6 +51,25 @@ type Step struct {
 	Diverged    bool        // a branch split the warp
 }
 
+// WarpExec is the warp interpreter contract the timing simulator and the
+// functional executor drive: the optimized flat-register Warp and the
+// retained reference RefWarp (refexec.go) both implement it and must stay
+// bit-identical on every kernel.
+type WarpExec interface {
+	// Exec executes one warp instruction, updating architectural state,
+	// and fills st with a description of it. The out parameter (rather
+	// than a returned Step) keeps the per-instruction hot path free of
+	// struct copies. Exec must not be called while the warp is at a
+	// barrier or after it is done.
+	Exec(env *Env, st *Step) error
+	// Done reports whether every thread in the warp has exited.
+	Done() bool
+	// AtBarrier reports whether the warp is waiting at a CTA barrier.
+	AtBarrier() bool
+	// ReleaseBarrier resumes a warp waiting at a barrier.
+	ReleaseBarrier()
+}
+
 type simtEntry struct {
 	pc, rpc int
 	mask    uint32
@@ -68,10 +77,28 @@ type simtEntry struct {
 
 // Warp executes up to WarpSize threads in lockstep using a SIMT
 // reconvergence stack (Fung et al.; the mechanism GPGPU-Sim models).
+//
+// This is the optimized interpreter: it dispatches over the kernel's
+// pre-decoded instruction stream (decode.go) with one switch per warp
+// instruction, and keeps all lanes' architectural state in flat per-warp
+// register files. The files are register-major — register r occupies the
+// contiguous 32-lane row regI[r*32 : r*32+32] — so one instruction's
+// per-lane loop walks sequential memory (three dense rows) instead of 32
+// pointer-chased thread objects; predicate registers are uint32 lane
+// bitmasks. It must stay bit-identical to RefWarp.
 type Warp struct {
-	Kernel  *Kernel
-	Threads [WarpSize]*Thread
-	ID      int // warp index within its CTA
+	Kernel *Kernel
+	ID     int // warp index within its CTA
+
+	prog       []dinstr
+	baseTid    int // Tid of lane 0 within the CTA
+	ctaID      int
+	localBytes int
+
+	regI  []int64   // r*WarpSize + lane
+	regF  []float64 // r*WarpSize + lane
+	regP  []uint32  // bit lane of regP[r]
+	local []byte    // lane-strided local memory, localBytes per lane
 
 	stack     []simtEntry
 	atBarrier bool
@@ -79,26 +106,13 @@ type Warp struct {
 	accessBuf []MemAccess
 }
 
-// NewWarp builds a warp over the given threads (entries may be nil for a
-// partially filled trailing warp).
-func NewWarp(k *Kernel, id int, threads []*Thread) *Warp {
-	w := &Warp{Kernel: k, ID: id}
-	var mask uint32
-	for i, t := range threads {
-		if i >= WarpSize {
-			break
-		}
-		if t != nil {
-			w.Threads[i] = t
-			mask |= 1 << uint(i)
-		}
-	}
-	w.stack = []simtEntry{{pc: 0, rpc: -1, mask: mask}}
-	if mask == 0 {
-		w.done = true
-	}
-	return w
-}
+var _ WarpExec = (*Warp)(nil)
+
+// rowI returns register r's 32-lane row of the integer file.
+func (w *Warp) rowI(r int32) []int64 { return w.regI[int(r)*WarpSize:][:WarpSize] }
+
+// rowF returns register r's 32-lane row of the float file.
+func (w *Warp) rowF(r int32) []float64 { return w.regF[int(r)*WarpSize:][:WarpSize] }
 
 // Done reports whether every thread in the warp has exited.
 func (w *Warp) Done() bool { return w.done }
@@ -135,323 +149,750 @@ func (w *Warp) Peek() *Instr {
 }
 
 // Exec executes one warp instruction, updating architectural state, and
-// returns a Step describing it. Exec must not be called while the warp is
-// at a barrier or after it is done.
-func (w *Warp) Exec(env *Env) (Step, error) {
+// fills st with a description of it. Exec must not be called while the
+// warp is at a barrier or after it is done.
+func (w *Warp) Exec(env *Env, st *Step) error {
 	e := w.top()
 	if e == nil {
-		return Step{Done: true}, nil
+		*st = Step{Done: true}
+		return nil
 	}
 	if w.atBarrier {
-		return Step{}, fmt.Errorf("isa: Exec on warp waiting at barrier")
+		*st = Step{}
+		return fmt.Errorf("isa: Exec on warp waiting at barrier")
 	}
 	pc := e.pc
-	ins := &w.Kernel.Instrs[pc]
-	st := Step{
-		Instr:       ins,
+	d := &w.prog[pc]
+	*st = Step{
+		Instr:       &w.Kernel.Instrs[pc],
 		PC:          pc,
 		ActiveMask:  e.mask,
 		ActiveCount: bits.OnesCount32(e.mask),
 	}
 
-	switch ins.Op {
+	switch d.op {
 	case OpBra:
-		var taken, notTaken uint32
-		for lane := 0; lane < WarpSize; lane++ {
-			if e.mask&(1<<uint(lane)) == 0 {
-				continue
-			}
-			t := w.Threads[lane]
-			p := t.P[ins.Pred]
-			if ins.Neg {
-				p = !p
-			}
-			if p {
-				taken |= 1 << uint(lane)
-			} else {
-				notTaken |= 1 << uint(lane)
-			}
+		pb := w.regP[d.pred]
+		if d.neg {
+			pb = ^pb
 		}
+		taken := pb & e.mask
+		notTaken := e.mask &^ taken
 		switch {
 		case notTaken == 0:
-			e.pc = ins.Target
+			e.pc = int(d.target)
 		case taken == 0:
 			e.pc = pc + 1
 		default:
 			// Divergence: the current entry becomes the reconvergence
 			// entry; push the fall-through path, then the taken path.
 			st.Diverged = true
-			e.pc = ins.Recon
+			e.pc = int(d.recon)
 			w.stack = append(w.stack,
-				simtEntry{pc: pc + 1, rpc: ins.Recon, mask: notTaken},
-				simtEntry{pc: ins.Target, rpc: ins.Recon, mask: taken},
+				simtEntry{pc: pc + 1, rpc: int(d.recon), mask: notTaken},
+				simtEntry{pc: int(d.target), rpc: int(d.recon), mask: taken},
 			)
 		}
-		return st, nil
+		return nil
 
 	case OpJmp:
-		e.pc = ins.Target
-		return st, nil
+		e.pc = int(d.target)
+		return nil
 
 	case OpBar:
 		w.atBarrier = true
 		e.pc = pc + 1
 		st.AtBarrier = true
-		return st, nil
+		return nil
 
 	case OpExit:
-		exiting := e.mask
-		for lane := 0; lane < WarpSize; lane++ {
-			if exiting&(1<<uint(lane)) != 0 {
-				w.Threads[lane].Exited = true
-			}
-		}
 		// Remove the exiting lanes from every stack entry so they never
 		// resume at a reconvergence point.
+		exiting := e.mask
 		for i := range w.stack {
 			w.stack[i].mask &^= exiting
 		}
 		if w.top() == nil {
 			st.Done = true
 		}
-		return st, nil
+		return nil
 
 	case OpLd, OpLdF, OpSt, OpStF, OpAtom:
-		w.accessBuf = w.accessBuf[:0]
-		for lane := 0; lane < WarpSize; lane++ {
-			if e.mask&(1<<uint(lane)) == 0 {
-				continue
-			}
-			t := w.Threads[lane]
-			addr := uint64(t.I[ins.Src1] + ins.Imm)
-			if err := w.execMem(env, t, ins, addr); err != nil {
-				return st, fmt.Errorf("kernel %s pc=%d (%v %v): cta=%d tid=%d: %w",
-					w.Kernel.Name, pc, ins.Op, ins.Space, t.Cta, t.Tid, err)
-			}
-			w.accessBuf = append(w.accessBuf, MemAccess{
-				Lane:  lane,
-				Addr:  addr,
-				Size:  ins.MType.Size(),
-				Store: ins.Op == OpSt || ins.Op == OpStF || ins.Op == OpAtom,
-			})
+		if err := w.execMem(env, d, e.mask, pc); err != nil {
+			return err
 		}
 		st.Accesses = w.accessBuf
 		e.pc = pc + 1
-		return st, nil
+		return nil
 
 	default:
-		for lane := 0; lane < WarpSize; lane++ {
-			if e.mask&(1<<uint(lane)) == 0 {
-				continue
-			}
-			w.execALU(env, w.Threads[lane], ins)
-		}
+		w.execALU(env, d, e.mask)
 		e.pc = pc + 1
-		return st, nil
+		return nil
 	}
 }
 
-func (w *Warp) spaceArena(env *Env, t *Thread, s Space) []byte {
-	switch s {
-	case SpaceShared:
-		return env.Shared
-	case SpaceLocal:
-		return t.Local
-	default:
-		return env.Mem.arena(s)
-	}
+// laneLocal returns the lane's window of the warp's local-memory arena.
+func (w *Warp) laneLocal(lane int) []byte {
+	lo := lane * w.localBytes
+	hi := lo + w.localBytes
+	return w.local[lo:hi:hi]
 }
 
-func (w *Warp) execMem(env *Env, t *Thread, ins *Instr, addr uint64) error {
-	arena := w.spaceArena(env, t, ins.Space)
-	switch ins.Op {
-	case OpLd:
-		raw, err := loadRaw(arena, addr, ins.MType)
-		if err != nil {
-			return err
-		}
-		switch ins.MType {
-		case U8:
-			t.I[ins.Dst] = int64(raw & 0xff)
-		case I32:
-			t.I[ins.Dst] = int64(int32(uint32(raw)))
+// memFault wraps a lane's load/store fault with the kernel context the
+// reference interpreter reports.
+func (w *Warp) memFault(d *dinstr, pc, lane int, err error) error {
+	return fmt.Errorf("kernel %s pc=%d (%v %v): cta=%d tid=%d: %w",
+		w.Kernel.Name, pc, d.op, d.space, w.ctaID, w.baseTid+lane, err)
+}
+
+// execMem executes one warp memory instruction across the active lanes,
+// recording each lane's access in accessBuf. The opcode switch sits
+// outside the lane loop, and the arena is resolved once for all spaces
+// except per-thread local memory.
+func (w *Warp) execMem(env *Env, d *dinstr, mask uint32, pc int) error {
+	w.accessBuf = w.accessBuf[:0]
+	addrs := w.rowI(d.src1)
+	imm := d.imm
+	size := int(d.size)
+	mtype := d.mtype
+
+	var arena []byte
+	perLane := d.space == SpaceLocal
+	if !perLane {
+		switch d.space {
+		case SpaceShared:
+			arena = env.Shared
 		default:
-			t.I[ins.Dst] = int64(raw)
+			arena = env.Mem.arena(d.space)
 		}
+	}
+	deferred := env.StoreBuf != nil && deferredSpace(d.space)
+
+	switch d.op {
+	case OpLd:
+		dd := w.rowI(d.dst)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m) & 31
+			addr := uint64(addrs[lane] + imm)
+			if perLane {
+				arena = w.laneLocal(lane)
+			}
+			if int(addr)+size > len(arena) {
+				return w.memFault(d, pc, lane, loadFault(addr, mtype, len(arena)))
+			}
+			switch mtype {
+			case U8:
+				dd[lane] = int64(arena[addr])
+			case I32:
+				dd[lane] = int64(int32(binary.LittleEndian.Uint32(arena[addr:])))
+			case F32:
+				dd[lane] = int64(binary.LittleEndian.Uint32(arena[addr:]))
+			default:
+				dd[lane] = int64(binary.LittleEndian.Uint64(arena[addr:]))
+			}
+			w.accessBuf = append(w.accessBuf, MemAccess{Lane: lane, Addr: addr, Size: size})
+		}
+
 	case OpLdF:
-		raw, err := loadRaw(arena, addr, ins.MType)
-		if err != nil {
-			return err
+		dd := w.rowF(d.dst)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m) & 31
+			addr := uint64(addrs[lane] + imm)
+			if perLane {
+				arena = w.laneLocal(lane)
+			}
+			if int(addr)+size > len(arena) {
+				return w.memFault(d, pc, lane, loadFault(addr, mtype, len(arena)))
+			}
+			var raw uint64
+			switch mtype {
+			case U8:
+				raw = uint64(arena[addr])
+			case I32, F32:
+				raw = uint64(binary.LittleEndian.Uint32(arena[addr:]))
+			default:
+				raw = binary.LittleEndian.Uint64(arena[addr:])
+			}
+			if mtype == F32 {
+				dd[lane] = float64(math.Float32frombits(uint32(raw)))
+			} else {
+				dd[lane] = math.Float64frombits(raw)
+			}
+			w.accessBuf = append(w.accessBuf, MemAccess{Lane: lane, Addr: addr, Size: size})
 		}
-		if ins.MType == F32 {
-			t.F[ins.Dst] = float64(math.Float32frombits(uint32(raw)))
-		} else {
-			t.F[ins.Dst] = math.Float64frombits(raw)
-		}
+
 	case OpSt:
-		v := t.I[ins.Src2]
-		return w.store(env, ins, arena, addr, uint64(v))
+		vv := w.rowI(d.src2)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m) & 31
+			addr := uint64(addrs[lane] + imm)
+			if perLane {
+				arena = w.laneLocal(lane)
+			}
+			if deferred {
+				if err := env.StoreBuf.record(arena, addr, mtype, uint64(vv[lane])); err != nil {
+					return w.memFault(d, pc, lane, err)
+				}
+			} else {
+				if int(addr)+size > len(arena) {
+					return w.memFault(d, pc, lane, storeFault(addr, mtype, len(arena)))
+				}
+				switch mtype {
+				case U8:
+					arena[addr] = byte(vv[lane])
+				case I32, F32:
+					binary.LittleEndian.PutUint32(arena[addr:], uint32(vv[lane]))
+				default:
+					binary.LittleEndian.PutUint64(arena[addr:], uint64(vv[lane]))
+				}
+			}
+			w.accessBuf = append(w.accessBuf, MemAccess{Lane: lane, Addr: addr, Size: size, Store: true})
+		}
+
 	case OpStF:
-		v := t.F[ins.Src2]
-		if ins.MType == F32 {
-			return w.store(env, ins, arena, addr, uint64(math.Float32bits(float32(v))))
+		vv := w.rowF(d.src2)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m) & 31
+			addr := uint64(addrs[lane] + imm)
+			if perLane {
+				arena = w.laneLocal(lane)
+			}
+			var raw uint64
+			if mtype == F32 {
+				raw = uint64(math.Float32bits(float32(vv[lane])))
+			} else {
+				raw = math.Float64bits(vv[lane])
+			}
+			if deferred {
+				if err := env.StoreBuf.record(arena, addr, mtype, raw); err != nil {
+					return w.memFault(d, pc, lane, err)
+				}
+			} else {
+				if int(addr)+size > len(arena) {
+					return w.memFault(d, pc, lane, storeFault(addr, mtype, len(arena)))
+				}
+				switch mtype {
+				case U8:
+					arena[addr] = byte(raw)
+				case I32, F32:
+					binary.LittleEndian.PutUint32(arena[addr:], uint32(raw))
+				default:
+					binary.LittleEndian.PutUint64(arena[addr:], raw)
+				}
+			}
+			w.accessBuf = append(w.accessBuf, MemAccess{Lane: lane, Addr: addr, Size: size, Store: true})
 		}
-		return w.store(env, ins, arena, addr, math.Float64bits(v))
+
 	case OpAtom:
-		if env.StoreBuf != nil && deferredSpace(ins.Space) {
-			return fmt.Errorf("isa: atomic to %v space cannot execute under deferred stores (shard-parallel mode)", ins.Space)
+		dd, vv := w.rowI(d.dst), w.rowI(d.src2)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m) & 31
+			addr := uint64(addrs[lane] + imm)
+			if perLane {
+				arena = w.laneLocal(lane)
+			}
+			if deferred {
+				return w.memFault(d, pc, lane,
+					fmt.Errorf("isa: atomic to %v space cannot execute under deferred stores (shard-parallel mode)", d.space))
+			}
+			raw, err := loadRaw(arena, addr, I32)
+			if err != nil {
+				return w.memFault(d, pc, lane, err)
+			}
+			old := int64(int32(uint32(raw)))
+			if err := storeRaw(arena, addr, I32, uint64(old+vv[lane])); err != nil {
+				return w.memFault(d, pc, lane, err)
+			}
+			dd[lane] = old
+			w.accessBuf = append(w.accessBuf, MemAccess{Lane: lane, Addr: addr, Size: size, Store: true})
 		}
-		raw, err := loadRaw(arena, addr, I32)
-		if err != nil {
-			return err
-		}
-		old := int64(int32(uint32(raw)))
-		if err := storeRaw(arena, addr, I32, uint64(old+t.I[ins.Src2])); err != nil {
-			return err
-		}
-		t.I[ins.Dst] = old
 	}
 	return nil
 }
 
-// store applies or defers one device store depending on whether the Env
-// carries a store buffer and the space is shared across CTAs.
-func (w *Warp) store(env *Env, ins *Instr, arena []byte, addr uint64, raw uint64) error {
-	if env.StoreBuf != nil && deferredSpace(ins.Space) {
-		return env.StoreBuf.record(arena, addr, ins.MType, raw)
-	}
-	return storeRaw(arena, addr, ins.MType, raw)
-}
+// execALU executes one decoded ALU/SFU/predicate instruction across the
+// active lanes: one switch on the opcode, then tight loops over the lane
+// bitmask against contiguous register rows. Binary ops split their
+// immediate and register forms so the operand test stays out of the lane
+// loop.
+func (w *Warp) execALU(env *Env, d *dinstr, mask uint32) {
+	useImm, imm, fimm := d.useImm, d.imm, d.fimm
 
-func (w *Warp) execALU(env *Env, t *Thread, ins *Instr) {
-	isrc2 := func() int64 {
-		if ins.UseImm {
-			return ins.Imm
-		}
-		return t.I[ins.Src2]
-	}
-	fsrc2 := func() float64 {
-		if ins.UseImm {
-			return ins.FImm
-		}
-		return t.F[ins.Src2]
-	}
-	switch ins.Op {
+	switch d.op {
 	case OpNop:
 	case OpIAdd:
-		t.I[ins.Dst] = t.I[ins.Src1] + isrc2()
-	case OpISub:
-		t.I[ins.Dst] = t.I[ins.Src1] - isrc2()
-	case OpIMul:
-		t.I[ins.Dst] = t.I[ins.Src1] * isrc2()
-	case OpIDiv:
-		if d := isrc2(); d != 0 {
-			t.I[ins.Dst] = t.I[ins.Src1] / d
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] + imm
+			}
 		} else {
-			t.I[ins.Dst] = 0
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] + bb[l]
+			}
+		}
+	case OpISub:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] - imm
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] - bb[l]
+			}
+		}
+	case OpIMul:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] * imm
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] * bb[l]
+			}
+		}
+	case OpIDiv:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			v := imm
+			if !useImm {
+				v = w.regI[int(d.src2)*WarpSize+l]
+			}
+			if v != 0 {
+				dd[l] = aa[l] / v
+			} else {
+				dd[l] = 0
+			}
 		}
 	case OpIRem:
-		if d := isrc2(); d != 0 {
-			t.I[ins.Dst] = t.I[ins.Src1] % d
-		} else {
-			t.I[ins.Dst] = 0
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			v := imm
+			if !useImm {
+				v = w.regI[int(d.src2)*WarpSize+l]
+			}
+			if v != 0 {
+				dd[l] = aa[l] % v
+			} else {
+				dd[l] = 0
+			}
 		}
 	case OpIMin:
-		t.I[ins.Dst] = min(t.I[ins.Src1], isrc2())
-	case OpIMax:
-		t.I[ins.Dst] = max(t.I[ins.Src1], isrc2())
-	case OpIAnd:
-		t.I[ins.Dst] = t.I[ins.Src1] & isrc2()
-	case OpIOr:
-		t.I[ins.Dst] = t.I[ins.Src1] | isrc2()
-	case OpIXor:
-		t.I[ins.Dst] = t.I[ins.Src1] ^ isrc2()
-	case OpShl:
-		t.I[ins.Dst] = t.I[ins.Src1] << uint(isrc2())
-	case OpShr:
-		t.I[ins.Dst] = t.I[ins.Src1] >> uint(isrc2())
-	case OpINeg:
-		t.I[ins.Dst] = -t.I[ins.Src1]
-	case OpIAbs:
-		if v := t.I[ins.Src1]; v < 0 {
-			t.I[ins.Dst] = -v
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = min(aa[l], imm)
+			}
 		} else {
-			t.I[ins.Dst] = v
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = min(aa[l], bb[l])
+			}
+		}
+	case OpIMax:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = max(aa[l], imm)
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = max(aa[l], bb[l])
+			}
+		}
+	case OpIAnd:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] & imm
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] & bb[l]
+			}
+		}
+	case OpIOr:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] | imm
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] | bb[l]
+			}
+		}
+	case OpIXor:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] ^ imm
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] ^ bb[l]
+			}
+		}
+	case OpShl:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] << uint(imm)
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] << uint(bb[l])
+			}
+		}
+	case OpShr:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] >> uint(imm)
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] >> uint(bb[l])
+			}
+		}
+	case OpINeg:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = -aa[l]
+		}
+	case OpIAbs:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			if v := aa[l]; v < 0 {
+				dd[l] = -v
+			} else {
+				dd[l] = v
+			}
 		}
 	case OpMov:
-		t.I[ins.Dst] = t.I[ins.Src1]
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = aa[l]
+		}
 	case OpMovI:
-		t.I[ins.Dst] = ins.Imm
+		dd := w.rowI(d.dst)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = imm
+		}
 	case OpFAdd:
-		t.F[ins.Dst] = t.F[ins.Src1] + fsrc2()
-	case OpFSub:
-		t.F[ins.Dst] = t.F[ins.Src1] - fsrc2()
-	case OpFMul:
-		t.F[ins.Dst] = t.F[ins.Src1] * fsrc2()
-	case OpFDiv:
-		t.F[ins.Dst] = t.F[ins.Src1] / fsrc2()
-	case OpFMin:
-		t.F[ins.Dst] = math.Min(t.F[ins.Src1], fsrc2())
-	case OpFMax:
-		t.F[ins.Dst] = math.Max(t.F[ins.Src1], fsrc2())
-	case OpFNeg:
-		t.F[ins.Dst] = -t.F[ins.Src1]
-	case OpFAbs:
-		t.F[ins.Dst] = math.Abs(t.F[ins.Src1])
-	case OpFMA:
-		t.F[ins.Dst] = t.F[ins.Src1]*t.F[ins.Src2] + t.F[ins.Src3]
-	case OpFMov:
-		t.F[ins.Dst] = t.F[ins.Src1]
-	case OpFMovI:
-		t.F[ins.Dst] = ins.FImm
-	case OpFSqrt:
-		t.F[ins.Dst] = math.Sqrt(t.F[ins.Src1])
-	case OpFExp:
-		t.F[ins.Dst] = math.Exp(t.F[ins.Src1])
-	case OpFLog:
-		t.F[ins.Dst] = math.Log(t.F[ins.Src1])
-	case OpFSin:
-		t.F[ins.Dst] = math.Sin(t.F[ins.Src1])
-	case OpFCos:
-		t.F[ins.Dst] = math.Cos(t.F[ins.Src1])
-	case OpFPow:
-		t.F[ins.Dst] = math.Pow(t.F[ins.Src1], fsrc2())
-	case OpI2F:
-		t.F[ins.Dst] = float64(t.I[ins.Src1])
-	case OpF2I:
-		t.I[ins.Dst] = int64(t.F[ins.Src1])
-	case OpSetpI:
-		t.P[ins.Dst] = cmpI(ins.Cmp, t.I[ins.Src1], isrc2())
-	case OpSetpF:
-		t.P[ins.Dst] = cmpF(ins.Cmp, t.F[ins.Src1], fsrc2())
-	case OpPAnd:
-		t.P[ins.Dst] = t.P[ins.Src1] && t.P[ins.Src2]
-	case OpPOr:
-		t.P[ins.Dst] = t.P[ins.Src1] || t.P[ins.Src2]
-	case OpPNot:
-		t.P[ins.Dst] = !t.P[ins.Src1]
-	case OpSelI:
-		if t.P[ins.Src3] {
-			t.I[ins.Dst] = t.I[ins.Src1]
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] + fimm
+			}
 		} else {
-			t.I[ins.Dst] = isrc2()
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] + bb[l]
+			}
+		}
+	case OpFSub:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] - fimm
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] - bb[l]
+			}
+		}
+	case OpFMul:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] * fimm
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] * bb[l]
+			}
+		}
+	case OpFDiv:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] / fimm
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = aa[l] / bb[l]
+			}
+		}
+	case OpFMin:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Min(aa[l], fimm)
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Min(aa[l], bb[l])
+			}
+		}
+	case OpFMax:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Max(aa[l], fimm)
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Max(aa[l], bb[l])
+			}
+		}
+	case OpFNeg:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = -aa[l]
+		}
+	case OpFAbs:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Abs(aa[l])
+		}
+	case OpFMA:
+		dd, aa, bb, cc := w.rowF(d.dst), w.rowF(d.src1), w.rowF(d.src2), w.rowF(d.src3)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = aa[l]*bb[l] + cc[l]
+		}
+	case OpFMov:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = aa[l]
+		}
+	case OpFMovI:
+		dd := w.rowF(d.dst)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = fimm
+		}
+	case OpFSqrt:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Sqrt(aa[l])
+		}
+	case OpFExp:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Exp(aa[l])
+		}
+	case OpFLog:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Log(aa[l])
+		}
+	case OpFSin:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Sin(aa[l])
+		}
+	case OpFCos:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = math.Cos(aa[l])
+		}
+	case OpFPow:
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Pow(aa[l], fimm)
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = math.Pow(aa[l], bb[l])
+			}
+		}
+	case OpI2F:
+		dd, aa := w.rowF(d.dst), w.rowI(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = float64(aa[l])
+		}
+	case OpF2I:
+		dd, aa := w.rowI(d.dst), w.rowF(d.src1)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			dd[l] = int64(aa[l])
+		}
+	case OpSetpI:
+		aa := w.rowI(d.src1)
+		cmp := d.cmp
+		p := w.regP[d.dst]
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				if cmpI(cmp, aa[l], imm) {
+					p |= 1 << uint(l)
+				} else {
+					p &^= 1 << uint(l)
+				}
+			}
+		} else {
+			bb := w.rowI(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				if cmpI(cmp, aa[l], bb[l]) {
+					p |= 1 << uint(l)
+				} else {
+					p &^= 1 << uint(l)
+				}
+			}
+		}
+		w.regP[d.dst] = p
+	case OpSetpF:
+		aa := w.rowF(d.src1)
+		cmp := d.cmp
+		p := w.regP[d.dst]
+		if useImm {
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				if cmpF(cmp, aa[l], fimm) {
+					p |= 1 << uint(l)
+				} else {
+					p &^= 1 << uint(l)
+				}
+			}
+		} else {
+			bb := w.rowF(d.src2)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				if cmpF(cmp, aa[l], bb[l]) {
+					p |= 1 << uint(l)
+				} else {
+					p &^= 1 << uint(l)
+				}
+			}
+		}
+		w.regP[d.dst] = p
+	case OpPAnd:
+		w.regP[d.dst] = (w.regP[d.dst] &^ mask) | (w.regP[d.src1] & w.regP[d.src2] & mask)
+	case OpPOr:
+		w.regP[d.dst] = (w.regP[d.dst] &^ mask) | ((w.regP[d.src1] | w.regP[d.src2]) & mask)
+	case OpPNot:
+		w.regP[d.dst] = (w.regP[d.dst] &^ mask) | (^w.regP[d.src1] & mask)
+	case OpSelI:
+		dd, aa := w.rowI(d.dst), w.rowI(d.src1)
+		p := w.regP[d.src3]
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			if p&(1<<uint(l)) != 0 {
+				dd[l] = aa[l]
+			} else if useImm {
+				dd[l] = imm
+			} else {
+				dd[l] = w.regI[int(d.src2)*WarpSize+l]
+			}
 		}
 	case OpSelF:
-		if t.P[ins.Src3] {
-			t.F[ins.Dst] = t.F[ins.Src1]
-		} else {
-			t.F[ins.Dst] = fsrc2()
+		dd, aa := w.rowF(d.dst), w.rowF(d.src1)
+		p := w.regP[d.src3]
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m) & 31
+			if p&(1<<uint(l)) != 0 {
+				dd[l] = aa[l]
+			} else if useImm {
+				dd[l] = fimm
+			} else {
+				dd[l] = w.regF[int(d.src2)*WarpSize+l]
+			}
 		}
 	case OpRdSp:
-		switch ins.Sp {
+		dd := w.rowI(d.dst)
+		switch d.sp {
 		case SpecTid:
-			t.I[ins.Dst] = int64(t.Tid)
+			base := int64(w.baseTid)
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m) & 31
+				dd[l] = base + int64(l)
+			}
 		case SpecCta:
-			t.I[ins.Dst] = int64(t.Cta)
+			v := int64(w.ctaID)
+			for m := mask; m != 0; m &= m - 1 {
+				dd[bits.TrailingZeros32(m)&31] = v
+			}
 		case SpecNTid:
-			t.I[ins.Dst] = int64(env.BlockDim)
+			v := int64(env.BlockDim)
+			for m := mask; m != 0; m &= m - 1 {
+				dd[bits.TrailingZeros32(m)&31] = v
+			}
 		case SpecNCta:
-			t.I[ins.Dst] = int64(env.GridDim)
+			v := int64(env.GridDim)
+			for m := mask; m != 0; m &= m - 1 {
+				dd[bits.TrailingZeros32(m)&31] = v
+			}
 		}
 	}
 }

@@ -6,12 +6,14 @@ import "fmt"
 // execution: its warps plus its private shared-memory environment.
 type CTA struct {
 	Index int
-	Warps []*Warp
+	Warps []WarpExec
 	Env   *Env
 }
 
-// MakeCTA instantiates block ctaID of the launch: allocates thread state,
-// groups threads into warps, and creates the CTA's shared-memory arena.
+// MakeCTA instantiates block ctaID of the launch with the optimized
+// flat-register interpreter: one contiguous register arena per file is
+// allocated for the whole CTA and sliced per warp, and the kernel's
+// pre-decoded instruction stream is shared by every warp.
 func MakeCTA(k *Kernel, ctaID int, launch Launch, mem *Memory) *CTA {
 	env := &Env{
 		Mem:      mem,
@@ -19,8 +21,90 @@ func MakeCTA(k *Kernel, ctaID int, launch Launch, mem *Memory) *CTA {
 		BlockDim: launch.Block,
 		GridDim:  launch.Grid,
 	}
+	prog := k.program()
 	nWarps := (launch.Block + WarpSize - 1) / WarpSize
-	cta := &CTA{Index: ctaID, Env: env, Warps: make([]*Warp, 0, nWarps)}
+	// CTA-contiguous register arenas, zero-initialized like the reference
+	// interpreter's per-thread slices.
+	strideI := WarpSize * k.NumI
+	strideF := WarpSize * k.NumF
+	strideL := WarpSize * k.LocalBytes
+	var (
+		regI  []int64
+		regF  []float64
+		regP  []uint32
+		local []byte
+	)
+	if strideI > 0 {
+		regI = make([]int64, nWarps*strideI)
+	}
+	if strideF > 0 {
+		regF = make([]float64, nWarps*strideF)
+	}
+	if k.NumP > 0 {
+		regP = make([]uint32, nWarps*k.NumP)
+	}
+	if strideL > 0 {
+		local = make([]byte, nWarps*strideL)
+	}
+	cta := &CTA{Index: ctaID, Env: env, Warps: make([]WarpExec, 0, nWarps)}
+	// One slab for the Warp structs (adjacent warps stay adjacent for the
+	// scheduler), one for the initial SIMT stack entries, and one for the
+	// access buffers so a CTA costs a handful of allocations rather than a
+	// few per warp. Stacks grow past their slab slot only on divergence.
+	warps := make([]Warp, nWarps)
+	stacks := make([]simtEntry, nWarps)
+	access := make([]MemAccess, nWarps*WarpSize)
+	for wi := 0; wi < nWarps; wi++ {
+		lo := wi * WarpSize
+		hi := min(lo+WarpSize, launch.Block)
+		n := hi - lo
+		mask := uint32((uint64(1) << uint(n)) - 1)
+		stacks[wi] = simtEntry{pc: 0, rpc: -1, mask: mask}
+		w := &warps[wi]
+		*w = Warp{
+			Kernel:     k,
+			ID:         wi,
+			prog:       prog,
+			baseTid:    lo,
+			ctaID:      ctaID,
+			localBytes: k.LocalBytes,
+			stack:      stacks[wi : wi+1 : wi+1],
+			accessBuf:  access[wi*WarpSize : wi*WarpSize : (wi+1)*WarpSize],
+		}
+		if strideI > 0 {
+			w.regI = regI[wi*strideI : (wi+1)*strideI : (wi+1)*strideI]
+		}
+		if strideF > 0 {
+			w.regF = regF[wi*strideF : (wi+1)*strideF : (wi+1)*strideF]
+		}
+		if k.NumP > 0 {
+			w.regP = regP[wi*k.NumP : (wi+1)*k.NumP : (wi+1)*k.NumP]
+		}
+		if strideL > 0 {
+			w.local = local[wi*strideL : (wi+1)*strideL : (wi+1)*strideL]
+		}
+		if mask == 0 {
+			w.done = true
+		}
+		cta.Warps = append(cta.Warps, w)
+	}
+	return cta
+}
+
+// MakeCTARef instantiates block ctaID of the launch with the retained
+// reference interpreter (refexec.go): per-thread register slices grouped
+// into RefWarps, exactly as the simulator allocated state before the
+// flat-register fast path. Differential tests run both constructions over
+// identical launches and require bit-identical results.
+func MakeCTARef(k *Kernel, ctaID int, launch Launch, mem *Memory) *CTA {
+	env := &Env{
+		Mem:      mem,
+		Shared:   make([]byte, k.SharedBytes),
+		BlockDim: launch.Block,
+		GridDim:  launch.Grid,
+	}
+	nWarps := (launch.Block + WarpSize - 1) / WarpSize
+	cta := &CTA{Index: ctaID, Env: env, Warps: make([]WarpExec, 0, nWarps)}
 	for w := 0; w < nWarps; w++ {
 		lo := w * WarpSize
 		hi := min(lo+WarpSize, launch.Block)
@@ -38,7 +122,7 @@ func MakeCTA(k *Kernel, ctaID int, launch Launch, mem *Memory) *CTA {
 			}
 			threads[i] = t
 		}
-		cta.Warps = append(cta.Warps, NewWarp(k, w, threads))
+		cta.Warps = append(cta.Warps, NewRefWarp(k, w, threads))
 	}
 	return cta
 }
@@ -84,12 +168,13 @@ func (f *Functional) Launch(k *Kernel, launch Launch, mem *Memory) error {
 
 func (f *Functional) runCTA(k *Kernel, cta *CTA) error {
 	var steps uint64
+	var st Step
 	for {
 		progressed := false
 		anyBarrier := false
 		for _, w := range cta.Warps {
 			for !w.Done() && !w.AtBarrier() {
-				if _, err := w.Exec(cta.Env); err != nil {
+				if err := w.Exec(cta.Env, &st); err != nil {
 					return err
 				}
 				progressed = true

@@ -12,7 +12,10 @@
 // parameter and local.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Space identifies a memory space. The timing model prices each space
 // differently (shared-memory banks, constant/texture caches, DRAM).
@@ -28,6 +31,11 @@ const (
 	SpaceParam
 	SpaceLocal
 )
+
+// NumSpaces is the number of Space values (including SpaceNone); dense
+// per-space tables (e.g. gpusim's memory-operation counters) are sized
+// by it.
+const NumSpaces = int(SpaceLocal) + 1
 
 func (s Space) String() string {
 	switch s {
@@ -268,6 +276,11 @@ type Kernel struct {
 	PhysF       int // peak live float registers (allocation demand)
 	SharedBytes int // static shared memory per CTA
 	LocalBytes  int // local (per-thread) memory
+
+	// Pre-decoded instruction stream, computed once on first launch
+	// (decode.go). Kernels must be used by pointer once built.
+	decodeOnce sync.Once
+	prog       []dinstr
 }
 
 // Regs returns the architectural register demand per thread — the peak

@@ -569,9 +569,9 @@ func TestWarpStepReporting(t *testing.T) {
 	cta := MakeCTA(k, 0, Launch{Grid: 1, Block: 32}, mem)
 	w := cta.Warps[0]
 	var storeStep *Step
+	var st Step
 	for !w.Done() {
-		st, err := w.Exec(cta.Env)
-		if err != nil {
+		if err := w.Exec(cta.Env, &st); err != nil {
 			t.Fatal(err)
 		}
 		if st.Instr != nil && st.Instr.Op == OpSt {

@@ -141,10 +141,21 @@ func (m *Memory) WriteU8(s Space, addr uint64, v byte) { m.arena(s)[addr] = v }
 // ReadU8 loads a byte from addr in space s.
 func (m *Memory) ReadU8(s Space, addr uint64) byte { return m.arena(s)[addr] }
 
+// loadFault and storeFault build the out-of-bounds access errors. They
+// are kept out of loadRaw/storeRaw so the bounds-checked fast path stays
+// within the inlining budget.
+func loadFault(addr uint64, t MemType, n int) error {
+	return fmt.Errorf("isa: load of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, n)
+}
+
+func storeFault(addr uint64, t MemType, n int) error {
+	return fmt.Errorf("isa: store of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, n)
+}
+
 // loadRaw reads a value of type t from the byte arena for a device access.
 func loadRaw(arena []byte, addr uint64, t MemType) (uint64, error) {
 	if int(addr)+t.Size() > len(arena) {
-		return 0, fmt.Errorf("isa: load of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+		return 0, loadFault(addr, t, len(arena))
 	}
 	switch t {
 	case U8:
@@ -159,7 +170,7 @@ func loadRaw(arena []byte, addr uint64, t MemType) (uint64, error) {
 // storeRaw writes a value of type t into the byte arena for a device access.
 func storeRaw(arena []byte, addr uint64, t MemType, v uint64) error {
 	if int(addr)+t.Size() > len(arena) {
-		return fmt.Errorf("isa: store of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+		return storeFault(addr, t, len(arena))
 	}
 	switch t {
 	case U8:

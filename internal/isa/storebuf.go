@@ -1,7 +1,5 @@
 package isa
 
-import "fmt"
-
 // StoreBuffer collects stores to device memory instead of applying them
 // immediately. When Env.StoreBuf is non-nil, Exec records every store
 // whose target arena is shared across CTAs (any space except the per-CTA
@@ -31,7 +29,7 @@ type bufferedStore struct {
 // it.
 func (b *StoreBuffer) record(arena []byte, addr uint64, t MemType, v uint64) error {
 	if int(addr)+t.Size() > len(arena) {
-		return fmt.Errorf("isa: store of %d bytes at %#x exceeds arena of %d bytes", t.Size(), addr, len(arena))
+		return storeFault(addr, t, len(arena))
 	}
 	b.entries = append(b.entries, bufferedStore{arena: arena, addr: addr, t: t, v: v})
 	return nil

@@ -20,10 +20,11 @@ func storeKernel() *Kernel {
 	return b.Build("storebuf")
 }
 
-func runWarpToCompletion(t *testing.T, w *Warp, env *Env) {
+func runWarpToCompletion(t *testing.T, w WarpExec, env *Env) {
 	t.Helper()
+	var st Step
 	for !w.Done() {
-		if _, err := w.Exec(env); err != nil {
+		if err := w.Exec(env, &st); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -77,9 +78,10 @@ func TestStoreBufferBoundsFaultAtRecordTime(t *testing.T) {
 	cta := MakeCTA(k, 0, Launch{Grid: 1, Block: 1}, mem)
 	cta.Env.StoreBuf = &StoreBuffer{}
 	w := cta.Warps[0]
+	var st Step
 	var err error
 	for !w.Done() && err == nil {
-		_, err = w.Exec(cta.Env)
+		err = w.Exec(cta.Env, &st)
 	}
 	if err == nil || !strings.Contains(err.Error(), "exceeds arena") {
 		t.Fatalf("out-of-bounds deferred store: err = %v, want arena bounds fault", err)
@@ -109,9 +111,10 @@ func TestGlobalAtomicRejectedUnderDeferredStores(t *testing.T) {
 	cta = MakeCTA(k, 0, Launch{Grid: 1, Block: 1}, mem)
 	cta.Env.StoreBuf = &StoreBuffer{}
 	w := cta.Warps[0]
+	var st Step
 	var err error
 	for !w.Done() && err == nil {
-		_, err = w.Exec(cta.Env)
+		err = w.Exec(cta.Env, &st)
 	}
 	if err == nil || !strings.Contains(err.Error(), "atomic") {
 		t.Fatalf("global atomic under deferred stores: err = %v, want atomic fault", err)
