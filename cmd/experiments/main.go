@@ -8,12 +8,19 @@
 //	experiments -nocheck     # skip functional validation of GPU kernels
 //	experiments -out results # also write one <id>.txt per artifact
 //	experiments -parallel 0  # fan out across GOMAXPROCS workers
+//	experiments -replay=false # re-execute kernels for every configuration
+//	experiments -tracelog    # log trace capture/replay/fallback decisions
 //	experiments -cpuprofile cpu.prof -memprofile mem.prof
 //
 // With -parallel, independent experiments run concurrently on a shared
 // context whose singleflight memoization still executes each underlying
 // characterization exactly once; output streams in paper order as soon
 // as each experiment (and all its predecessors) finishes.
+//
+// By default each benchmark's functional execution is traced once and
+// every further timing configuration replays the trace (bit-identical
+// Stats, roughly half the wall clock of a full pass). -replay=false is
+// the escape hatch that forces full re-execution everywhere.
 package main
 
 import (
@@ -54,6 +61,8 @@ func main() {
 	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
 	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
 	parallel := flag.Int("parallel", 1, "experiment worker count; 0 means GOMAXPROCS")
+	replay := flag.Bool("replay", true, "trace each benchmark once and replay it for further configs")
+	tracelog := flag.Bool("tracelog", false, "log trace capture/replay/fallback decisions to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -106,6 +115,12 @@ func main() {
 	}
 	ctx := experiments.NewContext()
 	ctx.Check = !*nocheck
+	ctx.Replay = *replay
+	if *tracelog {
+		ctx.TraceLog = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+		}
+	}
 	failed := false
 	experiments.RunConcurrent(ctx, selected, workers, func(o experiments.Outcome) {
 		if o.Err != nil {
@@ -135,6 +150,11 @@ func main() {
 			}
 		}
 	})
+	if *tracelog {
+		c := ctx.TraceCounters()
+		fmt.Fprintf(os.Stderr, "trace: %d captures, %d replays, %d fallbacks, %d evictions, %d uncacheable, %d bytes cached\n",
+			c.Captures, c.Replays, c.Fallbacks, c.Evictions, c.Uncacheable, c.Bytes)
+	}
 	if failed {
 		// os.Exit skips defers; the run itself completed, so flush the
 		// profiles before reporting failure.

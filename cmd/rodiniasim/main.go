@@ -6,11 +6,19 @@
 //	rodiniasim                      # all benchmarks on the base config
 //	rodiniasim -bench SRAD,BFS      # a subset
 //	rodiniasim -config gtx480-l1    # base | base8 | gtx280 | gtx480-shared | gtx480-l1
+//	rodiniasim -config base,gtx280  # sweep several configs (trace-once, replay-many)
+//	rodiniasim -replay=false        # re-execute kernels for every config of a sweep
 //	rodiniasim -nocheck             # skip functional validation
 //	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
 //	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
 //	rodiniasim -cpuprofile cpu.prof # write a pprof CPU profile of the run
 //	rodiniasim -memprofile mem.prof # write a pprof heap profile at exit
+//
+// A multi-config sweep records each benchmark's functional execution
+// once and replays the trace under every further configuration
+// (bit-identical statistics, no kernel re-execution); -replay=false
+// forces full execution everywhere. A single-config run always executes
+// directly.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
 )
@@ -65,7 +74,8 @@ func configByName(name string) (gpusim.Config, error) {
 
 func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
-	cfgName := flag.String("config", "base", "GPU configuration")
+	cfgName := flag.String("config", "base", "GPU configuration, or a comma-separated sweep")
+	replay := flag.Bool("replay", true, "in a multi-config sweep, trace each benchmark once and replay it")
 	nocheck := flag.Bool("nocheck", false, "skip functional validation against the CPU reference")
 	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
 	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
@@ -88,12 +98,17 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 
-	cfg, err := configByName(*cfgName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	var cfgs []gpusim.Config
+	for _, name := range strings.Split(*cfgName, ",") {
+		c, err := configByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		c.ShardWorkers = *workers
+		cfgs = append(cfgs, c)
 	}
-	cfg.ShardWorkers = *workers
+	cfg := cfgs[0]
 
 	var benches []*kernels.Benchmark
 	if *benchList == "" {
@@ -119,8 +134,33 @@ func main() {
 		pool = len(benches)
 	}
 	type outcome struct {
-		st  *gpusim.Stats
+		sts []*gpusim.Stats // one per config
 		err error
+	}
+	// A multi-config sweep shares one experiments context so each
+	// benchmark's functional execution is traced once and replayed for
+	// the other configurations; a single-config run characterizes
+	// directly (replay can never help it).
+	var ctx *experiments.Context
+	if len(cfgs) > 1 {
+		ctx = experiments.NewContext()
+		ctx.Check = !*nocheck
+		ctx.Replay = *replay
+	}
+	runBench := func(b *kernels.Benchmark) outcome {
+		if ctx == nil {
+			st, err := core.CharacterizeGPU(b, cfg, !*nocheck)
+			return outcome{sts: []*gpusim.Stats{st}, err: err}
+		}
+		var sts []*gpusim.Stats
+		for _, c := range cfgs {
+			st, err := ctx.GPU(b, c)
+			if err != nil {
+				return outcome{err: err}
+			}
+			sts = append(sts, st)
+		}
+		return outcome{sts: sts}
 	}
 	outcomes := make([]outcome, len(benches))
 	ready := make([]chan struct{}, len(benches))
@@ -134,8 +174,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				st, err := core.CharacterizeGPU(benches[i], cfg, !*nocheck)
-				outcomes[i] = outcome{st: st, err: err}
+				outcomes[i] = runBench(benches[i])
 				close(ready[i])
 			}
 		}()
@@ -149,26 +188,32 @@ func main() {
 
 	for i, b := range benches {
 		<-ready[i]
-		st, err := outcomes[i].st, outcomes[i].err
+		sts, err := outcomes[i].sts, outcomes[i].err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", b.Abbrev, err)
 			os.Exit(1)
 		}
-		fmt.Printf("--- %s (%s, %s) ---\n", b.Name, b.Dwarf, b.SimSize)
-		fmt.Println(st)
-		if *perKernel {
-			names := make([]string, 0, len(st.PerKernel))
-			for name := range st.PerKernel {
-				names = append(names, name)
+		for ci, st := range sts {
+			if len(cfgs) == 1 {
+				fmt.Printf("--- %s (%s, %s) ---\n", b.Name, b.Dwarf, b.SimSize)
+			} else {
+				fmt.Printf("--- %s (%s, %s) @ %s ---\n", b.Name, b.Dwarf, b.SimSize, cfgs[ci].Name)
 			}
-			sort.Strings(names)
-			for _, name := range names {
-				pk := st.PerKernel[name]
-				fmt.Printf("  kernel %-24s launches=%-4d cycles=%-9d instrs=%-10d IPC=%.1f\n",
-					name, pk.Launches, pk.Cycles, pk.ThreadInstrs, pk.IPC())
+			fmt.Println(st)
+			if *perKernel {
+				names := make([]string, 0, len(st.PerKernel))
+				for name := range st.PerKernel {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					pk := st.PerKernel[name]
+					fmt.Printf("  kernel %-24s launches=%-4d cycles=%-9d instrs=%-10d IPC=%.1f\n",
+						name, pk.Launches, pk.Cycles, pk.ThreadInstrs, pk.IPC())
+				}
 			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	wg.Wait()
 }

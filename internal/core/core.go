@@ -176,3 +176,41 @@ func CharacterizeGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpus
 	}
 	return g.Stats, nil
 }
+
+// CaptureGPU is CharacterizeGPU with trace recording: alongside the
+// statistics it returns a functional trace of every kernel launch the
+// benchmark issued, suitable for ReplayGPU under compatible
+// configurations (gpusim.RunTrace.CompatibleWith). Recording does not
+// perturb the statistics.
+func CaptureGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	in := b.Instance()
+	g, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := g.Capture()
+	if err := in.Run(g); err != nil {
+		return nil, nil, fmt.Errorf("core: %s on %s: %w", b.Abbrev, cfg.Name, err)
+	}
+	if check {
+		if err := in.Check(); err != nil {
+			return nil, nil, fmt.Errorf("core: %s on %s failed validation: %w", b.Abbrev, cfg.Name, err)
+		}
+	}
+	return g.Stats, tb.Trace(), nil
+}
+
+// ReplayGPU characterizes a benchmark from a recorded trace instead of
+// executing it: no input generation, no kernel execution, no validation —
+// only the timing model runs. The caller is responsible for checking
+// trace compatibility (or accepting the error Replay returns).
+func ReplayGPU(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace) (*gpusim.Stats, error) {
+	g, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Replay(rt); err != nil {
+		return nil, fmt.Errorf("core: %s replay on %s: %w", b.Abbrev, cfg.Name, err)
+	}
+	return g.Stats, nil
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+// replayConfigs builds the timing configurations the experiment suite
+// actually sweeps for a benchmark: the Figure 4 memory-channel scaling,
+// the Figure 5 architecture pair, and — for the four Plackett-Burman
+// focus applications — all twelve PB design rows.
+func replayConfigs(b *kernels.Benchmark) []gpusim.Config {
+	var cfgs []gpusim.Config
+	for _, ch := range []int{4, 6, 8} {
+		c := gpusim.Base()
+		c.Name = fmt.Sprintf("%s-%dch", c.Name, ch)
+		c.MemChannels = ch
+		cfgs = append(cfgs, c)
+	}
+	cfgs = append(cfgs, gpusim.GTX280(), gpusim.GTX480(gpusim.SharedBias), gpusim.GTX480(gpusim.L1Bias))
+	for _, app := range experiments.PBApps {
+		if app != b.Abbrev {
+			continue
+		}
+		for r, row := range stats.PB12() {
+			c := gpusim.Base()
+			c.Name = fmt.Sprintf("pb-row%d", r)
+			for f := range experiments.PBFactors {
+				experiments.PBFactors[f].Apply(&c, row[f] > 0)
+			}
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// TestGPUReplayDifferential is the acceptance differential for trace
+// replay: for every benchmark, one trace captured under the base
+// configuration must replay to Stats deeply equal to full execution
+// under every configuration the experiment suite sweeps — on both the
+// sequential and the shard-parallel event loop. Run under -race in CI,
+// the sharded legs also prove replay race-clean.
+func TestGPUReplayDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization sweep in -short mode")
+	}
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			capSt, rt, err := core.CaptureGPU(b, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveBase, err := core.CharacterizeGPU(b, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(capSt, liveBase) {
+				t.Fatal("capture perturbs the capturing run's stats")
+			}
+			for _, cfg := range replayConfigs(b) {
+				live, err := core.CharacterizeGPU(b, cfg, false)
+				if err != nil {
+					t.Fatalf("%s live: %v", cfg.Name, err)
+				}
+				got, err := core.ReplayGPU(b, cfg, rt)
+				if err != nil {
+					t.Fatalf("%s replay: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(got, live) {
+					t.Errorf("%s: replay diverges from live execution\n got: %+v\nwant: %+v", cfg.Name, got, live)
+				}
+				// Sharded replay must match too; live shard-determinism is
+				// pinned by TestGPUStatsMatchReferenceInterpreter, so the
+				// sequential live run is the reference here.
+				shard := cfg
+				shard.ShardWorkers = 3
+				gotShard, err := core.ReplayGPU(b, shard, rt)
+				if err != nil {
+					t.Fatalf("%s sharded replay: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(gotShard, live) {
+					t.Errorf("%s: sharded replay diverges from live execution\n got: %+v\nwant: %+v", cfg.Name, gotShard, live)
+				}
+			}
+		})
+	}
+}

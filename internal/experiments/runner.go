@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -39,14 +40,7 @@ func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(O
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				start := time.Now()
-				r, err := exps[i].Run(ctx)
-				outcomes[i] = Outcome{
-					Experiment: exps[i],
-					Result:     r,
-					Err:        err,
-					Elapsed:    time.Since(start),
-				}
+				outcomes[i] = runOne(ctx, exps[i])
 				close(ready[i])
 			}
 		}()
@@ -65,4 +59,24 @@ func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(O
 	}
 	wg.Wait()
 	return outcomes
+}
+
+// runOne executes a single experiment, converting a panic into an error
+// outcome: an escaped panic would kill the process with other
+// experiments mid-flight and their outcomes undelivered, so a broken
+// experiment must fail like an erroring one.
+func runOne(ctx *Context, e *Experiment) (out Outcome) {
+	start := time.Now()
+	defer func() {
+		out.Experiment = e
+		out.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			out.Result = nil
+			out.Err = fmt.Errorf("experiment %s panicked: %v", e.ID, r)
+		}
+	}()
+	r, err := e.Run(ctx)
+	out.Result = r
+	out.Err = err
+	return out
 }

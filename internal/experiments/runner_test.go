@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -25,6 +27,7 @@ func TestContextSingleflight(t *testing.T) {
 	defer func() { characterizeGPU = orig }()
 
 	ctx := NewContext()
+	ctx.Replay = false // pin the stubbed non-replay path
 	b := kernels.All()[0]
 	cfg := gpusim.Base8SM()
 	const callers = 16
@@ -62,6 +65,7 @@ func TestContextSingleflightCachesErrors(t *testing.T) {
 	defer func() { characterizeGPU = orig }()
 
 	ctx := NewContext()
+	ctx.Replay = false // pin the stubbed non-replay path
 	b := kernels.All()[0]
 	for i := 0; i < 3; i++ {
 		if _, err := ctx.GPU(b, gpusim.Base8SM()); err == nil {
@@ -127,5 +131,122 @@ func TestRunConcurrentNoDeliver(t *testing.T) {
 	outcomes := RunConcurrent(NewContext(), exps, 0, nil)
 	if len(outcomes) != 1 || outcomes[0].Result == nil {
 		t.Fatalf("bad outcomes: %+v", outcomes)
+	}
+}
+
+// TestContextSingleflightReplayPath is the singleflight test for the
+// trace path: concurrent requests for several configurations of one
+// benchmark must capture exactly once and replay the rest, with no
+// duplicate captures racing through the per-benchmark gate.
+func TestContextSingleflightReplayPath(t *testing.T) {
+	var captures, replays atomic.Int32
+	origCap, origRep := captureGPU, replayGPU
+	captureGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+		captures.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		st, rt, err := origCap(b, cfg, false)
+		return st, rt, err
+	}
+	replayGPU = func(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace) (*gpusim.Stats, error) {
+		replays.Add(1)
+		return origRep(b, cfg, rt)
+	}
+	defer func() { captureGPU, replayGPU = origCap, origRep }()
+
+	ctx := NewContext()
+	ctx.Check = false
+	b := kernels.All()[0]
+	cfgs := []gpusim.Config{gpusim.Base(), gpusim.Base8SM(), gpusim.GTX280()}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, cfg := range cfgs {
+			wg.Add(1)
+			go func(cfg gpusim.Config) {
+				defer wg.Done()
+				if _, err := ctx.GPU(b, cfg); err != nil {
+					t.Error(err)
+				}
+			}(cfg)
+		}
+	}
+	wg.Wait()
+	if got := captures.Load(); got != 1 {
+		t.Fatalf("captured %d times, want 1", got)
+	}
+	if got := replays.Load(); got != int32(len(cfgs)-1) {
+		t.Fatalf("replayed %d times, want %d", got, len(cfgs)-1)
+	}
+	c := ctx.TraceCounters()
+	if c.Captures != 1 || c.Replays != uint64(len(cfgs)-1) || c.Fallbacks != 0 {
+		t.Fatalf("counters = %+v, want 1 capture, %d replays, 0 fallbacks", c, len(cfgs)-1)
+	}
+}
+
+// TestRunConcurrentPanicRecovery drives a mix of panicking, erroring and
+// healthy experiments and asserts the runner delivers every outcome in
+// order, converts panics to errors, wedges nowhere, and leaks no
+// goroutines.
+func TestRunConcurrentPanicRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const n = 6
+	var exps []*Experiment
+	for i := 0; i < n; i++ {
+		i := i
+		exps = append(exps, &Experiment{
+			ID: fmt.Sprintf("exp%d", i),
+			Run: func(ctx *Context) (*Result, error) {
+				switch i {
+				case 1:
+					panic("kaboom")
+				case 4:
+					return nil, fmt.Errorf("exp%d failed", i)
+				}
+				return &Result{ID: fmt.Sprintf("exp%d", i)}, nil
+			},
+		})
+	}
+	done := make(chan []Outcome, 1)
+	var delivered []string
+	go func() {
+		done <- RunConcurrent(NewContext(), exps, 3, func(o Outcome) {
+			delivered = append(delivered, o.Experiment.ID)
+		})
+	}()
+	var outcomes []Outcome
+	select {
+	case outcomes = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunConcurrent wedged after a panicking experiment")
+	}
+	if len(outcomes) != n || len(delivered) != n {
+		t.Fatalf("got %d outcomes, %d deliveries, want %d", len(outcomes), len(delivered), n)
+	}
+	for i, o := range outcomes {
+		want := fmt.Sprintf("exp%d", i)
+		if o.Experiment.ID != want || delivered[i] != want {
+			t.Fatalf("position %d: outcome %s, delivered %s, want %s", i, o.Experiment.ID, delivered[i], want)
+		}
+		switch i {
+		case 1:
+			if o.Err == nil || !strings.Contains(o.Err.Error(), "panicked") {
+				t.Fatalf("exp1: want panic error, got %v", o.Err)
+			}
+		case 4:
+			if o.Err == nil {
+				t.Fatal("exp4 error lost")
+			}
+		default:
+			if o.Err != nil || o.Result == nil {
+				t.Fatalf("exp%d: unexpected outcome %+v", i, o)
+			}
+		}
+	}
+	// Workers and the feeder must all have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, now)
 	}
 }

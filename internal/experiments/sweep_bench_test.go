@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// BenchmarkExperimentsSweep measures the cross-configuration GPU sweep —
+// the experiments that characterize every benchmark under many timing
+// configurations (Figure 4 channel scaling, Figure 5 architectures, the
+// Plackett-Burman design) — with trace replay on and off. The replay/
+// noreplay ratio is the speedup the trace engine buys; CI runs it with
+// -benchtime=1x as a regression smoke.
+func BenchmarkExperimentsSweep(b *testing.B) {
+	sweep := func(b *testing.B, replay bool) {
+		var exps []*Experiment
+		for _, id := range []string{"fig4", "fig5", "pb"} {
+			e, ok := ByID(id)
+			if !ok {
+				b.Fatalf("no experiment %s", id)
+			}
+			exps = append(exps, e)
+		}
+		for i := 0; i < b.N; i++ {
+			ctx := NewContext()
+			ctx.Check = false
+			ctx.Replay = replay
+			for _, o := range RunConcurrent(ctx, exps, 1, nil) {
+				if o.Err != nil {
+					b.Fatal(o.Err)
+				}
+			}
+		}
+	}
+	b.Run("replay", func(b *testing.B) { sweep(b, true) })
+	b.Run("noreplay", func(b *testing.B) { sweep(b, false) })
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/gpusim"
+)
+
+// DefaultTraceCacheBytes is the trace cache's byte cap when the Context
+// does not set one. The full 12-benchmark Rodinia suite records about
+// 160 MB of traces under the base configuration (one trace per benchmark
+// serves every configuration of a sweep), so 1 GiB holds the suite plus
+// the Table III program variants with room to spare while keeping a
+// large multi-suite sweep from growing without bound.
+const DefaultTraceCacheBytes = 1 << 30
+
+// TraceCounters is a snapshot of the trace cache's decision counters.
+// Captures counts functional passes that recorded a trace; Replays
+// counts characterizations served from a trace; Fallbacks counts
+// captures forced although a trace for the benchmark existed (it was
+// incompatible with the requested configuration); Evictions counts
+// traces dropped by the LRU to respect the byte cap, and Uncacheable
+// counts traces too large to cache at all. Bytes is the current cache
+// occupancy.
+type TraceCounters struct {
+	Captures    uint64
+	Replays     uint64
+	Fallbacks   uint64
+	Evictions   uint64
+	Uncacheable uint64
+	Bytes       int64
+}
+
+// traceCache is an LRU over captured run traces, bounded by a byte cap
+// so replay can never OOM a large sweep: traces are big (tens to
+// hundreds of MB per benchmark), so the cache counts bytes, not entries.
+type traceCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	clock    uint64
+	entries  []*traceEntry
+	counters TraceCounters
+}
+
+type traceEntry struct {
+	bench   string
+	rt      *gpusim.RunTrace
+	lastUse uint64
+}
+
+func newTraceCache(capBytes int64) *traceCache {
+	if capBytes == 0 {
+		capBytes = DefaultTraceCacheBytes
+	}
+	return &traceCache{capBytes: capBytes}
+}
+
+// lookup returns a cached trace for the benchmark compatible with cfg,
+// marking it most recently used. When every cached trace for the
+// benchmark is incompatible, it reports the first incompatibility so the
+// caller can log why it falls back to a fresh capture.
+func (tc *traceCache) lookup(bench string, cfg *gpusim.Config, strict bool) (rt *gpusim.RunTrace, fallback string) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.clock++
+	for _, e := range tc.entries {
+		if e.bench != bench {
+			continue
+		}
+		if err := e.rt.CompatibleWith(cfg, strict); err != nil {
+			if fallback == "" {
+				fallback = err.Error()
+			}
+			continue
+		}
+		e.lastUse = tc.clock
+		tc.counters.Replays++
+		return e.rt, ""
+	}
+	return nil, fallback
+}
+
+// noteCapture records the decision to run a fresh capture; fallback
+// marks captures forced by an incompatible cached trace.
+func (tc *traceCache) noteCapture(fallback bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.counters.Captures++
+	if fallback {
+		tc.counters.Fallbacks++
+	}
+}
+
+// insert caches a freshly captured trace, evicting least-recently-used
+// entries until the byte cap holds. A trace larger than the whole cap is
+// not cached (counted as uncacheable); the capture that produced it
+// still served its caller.
+func (tc *traceCache) insert(bench string, rt *gpusim.RunTrace) (evicted []string, cached bool) {
+	size := rt.Bytes()
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if size > tc.capBytes {
+		tc.counters.Uncacheable++
+		return nil, false
+	}
+	tc.clock++
+	tc.entries = append(tc.entries, &traceEntry{bench: bench, rt: rt, lastUse: tc.clock})
+	tc.bytes += size
+	for tc.bytes > tc.capBytes {
+		lru := 0
+		for i, e := range tc.entries {
+			if e.lastUse < tc.entries[lru].lastUse {
+				lru = i
+			}
+		}
+		e := tc.entries[lru]
+		tc.entries = append(tc.entries[:lru], tc.entries[lru+1:]...)
+		tc.bytes -= e.rt.Bytes()
+		tc.counters.Evictions++
+		evicted = append(evicted, e.bench)
+	}
+	return evicted, true
+}
+
+// snapshot returns the counters with current occupancy filled in.
+func (tc *traceCache) snapshot() TraceCounters {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	c := tc.counters
+	c.Bytes = tc.bytes
+	return c
+}

@@ -11,7 +11,11 @@
 // DRAM channels.
 package gpusim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // Config describes a simulated GPU. The zero value is not usable; start
 // from one of the preset configurations.
@@ -93,6 +97,29 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("gpusim: ShardWorkers = %d", c.ShardWorkers)
 	}
 	return nil
+}
+
+// CTAsPerSM computes how many CTAs of the kernel fit on one SM given the
+// register, thread, shared-memory and CTA-slot budgets. Together with
+// NumSMs it fully determines CTA→SM placement for a single-kernel
+// launch, which is why the trace-replay validity predicate
+// (RunTrace.CompatibleWith) compares it across configurations.
+func (c *Config) CTAsPerSM(k *isa.Kernel, block int) int {
+	n := c.MaxCTAs
+	if byThreads := c.MaxThreads / block; byThreads < n {
+		n = byThreads
+	}
+	if perCTA := k.Regs() * block; perCTA > 0 {
+		if byRegs := c.Registers / perCTA; byRegs < n {
+			n = byRegs
+		}
+	}
+	if k.SharedBytes > 0 {
+		if byShared := c.SharedMemory / k.SharedBytes; byShared < n {
+			n = byShared
+		}
+	}
+	return n
 }
 
 // issueCycles is the number of issue slots one warp instruction occupies.

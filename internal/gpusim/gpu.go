@@ -26,6 +26,10 @@ type GPU struct {
 	sms     []*smCaches
 	l2      *cache
 	sharing *sharingTracker
+
+	// capture, when non-nil, records the functional half of every launch
+	// into a RunTrace for later replay (trace.go).
+	capture *TraceBuilder
 }
 
 type smCaches struct {
@@ -65,21 +69,7 @@ func (g *GPU) Config() Config { return g.cfg }
 // CTAsPerSM computes how many CTAs of the kernel fit on one SM given the
 // register, thread, shared-memory and CTA-slot budgets.
 func (g *GPU) CTAsPerSM(k *isa.Kernel, block int) int {
-	n := g.cfg.MaxCTAs
-	if byThreads := g.cfg.MaxThreads / block; byThreads < n {
-		n = byThreads
-	}
-	if perCTA := k.Regs() * block; perCTA > 0 {
-		if byRegs := g.cfg.Registers / perCTA; byRegs < n {
-			n = byRegs
-		}
-	}
-	if k.SharedBytes > 0 {
-		if byShared := g.cfg.SharedMemory / k.SharedBytes; byShared < n {
-			n = byShared
-		}
-	}
-	return n
+	return g.cfg.CTAsPerSM(k, block)
 }
 
 // Launch runs the kernel to completion under the timing model.
@@ -96,6 +86,45 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 	if len(specs) == 0 {
 		return fmt.Errorf("gpusim: no kernels to launch")
 	}
+	rss := make([]*runSpec, 0, len(specs))
+	for i, spec := range specs {
+		rss = append(rss, &runSpec{
+			idx: i, k: spec.Kernel, launch: spec.Launch, mem: spec.Mem,
+			kStats: NewStats(g.cfg.Name),
+		})
+	}
+	var rec *isa.LaunchRecorder
+	if g.capture != nil {
+		// Only single-kernel launches are replayable: concurrent kernels
+		// share the dispatch cursors, so their CTA placement is coupled in
+		// ways the validity predicate does not model.
+		if len(specs) != 1 {
+			g.capture.invalidate(fmt.Sprintf("concurrent launch of %d kernels", len(specs)))
+		} else if usesAtomics(specs[0].Kernel) {
+			g.capture.invalidate(fmt.Sprintf("kernel %s uses atomics", specs[0].Kernel.Name))
+		} else if r, err := isa.NewLaunchRecorder(specs[0].Kernel, specs[0].Launch); err != nil {
+			g.capture.invalidate(err.Error())
+		} else {
+			rec = r
+			rss[0].rec = rec
+		}
+	}
+	if err := g.runLaunch(rss); err != nil {
+		if g.capture != nil {
+			g.capture.invalidate("launch failed: " + err.Error())
+		}
+		return err
+	}
+	if rec != nil {
+		g.capture.add(rec.Finalize())
+	}
+	return nil
+}
+
+// runLaunch simulates one (possibly concurrent) launch whose runSpecs are
+// already built — from live LaunchSpecs or from a recorded trace — and
+// accumulates its statistics.
+func (g *GPU) runLaunch(rss []*runSpec) error {
 	d := newDRAM(&g.cfg)
 	ls := &launchState{
 		g:      g,
@@ -103,19 +132,16 @@ func (g *GPU) LaunchConcurrent(specs []LaunchSpec) error {
 		ms:     newMemSubsystem(&g.cfg, g.l2, d, g.sharing),
 		issueC: g.cfg.issueCycles(),
 	}
-	for i, spec := range specs {
-		if err := spec.Launch.Validate(); err != nil {
+	for _, sp := range rss {
+		if err := sp.launch.Validate(); err != nil {
 			return err
 		}
-		if g.CTAsPerSM(spec.Kernel, spec.Launch.Block) == 0 {
+		if g.CTAsPerSM(sp.k, sp.launch.Block) == 0 {
 			return fmt.Errorf("gpusim: kernel %s (regs=%d shared=%d block=%d) exceeds SM resources of %s",
-				spec.Kernel.Name, spec.Kernel.Regs(), spec.Kernel.SharedBytes, spec.Launch.Block, g.cfg.Name)
+				sp.k.Name, sp.k.Regs(), sp.k.SharedBytes, sp.launch.Block, g.cfg.Name)
 		}
-		ls.specs = append(ls.specs, &runSpec{
-			idx: i, k: spec.Kernel, launch: spec.Launch, mem: spec.Mem,
-			kStats: NewStats(g.cfg.Name),
-		})
-		ls.pending += spec.Launch.Grid
+		ls.specs = append(ls.specs, sp)
+		ls.pending += sp.launch.Grid
 	}
 	for i := 0; i < g.cfg.NumSMs; i++ {
 		ls.sms = append(ls.sms, &smRT{caches: g.sms[i]})

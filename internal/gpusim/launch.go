@@ -9,6 +9,7 @@ import (
 type warpRT struct {
 	w       isa.WarpExec
 	cta     *ctaRT
+	env     *isa.Env // == cta.cta.Env, cached off the per-step path
 	readyAt uint64
 	retired bool
 
@@ -21,6 +22,16 @@ type warpRT struct {
 	done    bool
 	barrier bool
 	blocked bool
+
+	// slot is the warp's index in its SM's warps/ready slices, maintained
+	// across retirement compaction, so readiness writes can update the
+	// SM's flat scan array (smRT.ready) in O(1).
+	slot int
+
+	// rec, when non-nil, records every step the warp executes for later
+	// replay (trace.go). A warp belongs to exactly one SM, so recording
+	// needs no synchronization even on the shard-parallel path.
+	rec *isa.WarpRecorder
 }
 
 type ctaRT struct {
@@ -37,6 +48,14 @@ type smRT struct {
 	warps       []*warpRT
 	issueFreeAt uint64
 	rr          int
+
+	// ready mirrors each warp's issue readiness — readyAt, or blockedAt
+	// for warps that cannot issue (barrier, done, retired) — indexed like
+	// warps. The scheduler, nextReady and nextEvent scan it instead of
+	// chasing warpRT pointers: the scans run every cycle on every SM and
+	// dominate the sequential loop's cache traffic. Every write to a
+	// warp's blocked/readyAt goes through syncReady.
+	ready []uint64
 
 	// skipUntil is a lower bound on the next cycle any warp on this SM can
 	// issue, recorded when a scheduler scan comes up empty so subsequent
@@ -65,13 +84,27 @@ type smRT struct {
 	bankScr bankScratch
 }
 
+// blockedAt marks a warp that cannot issue in the ready array. Real
+// readyAt values are always a small delta past the current cycle, so the
+// sentinel never collides with one.
+const blockedAt = ^uint64(0)
+
+// syncReady refreshes the warp's entry in the SM's flat readiness array.
+func (sm *smRT) syncReady(w *warpRT) {
+	if w.blocked {
+		sm.ready[w.slot] = blockedAt
+	} else {
+		sm.ready[w.slot] = w.readyAt
+	}
+}
+
 // nextReady returns the earliest readyAt among the SM's unblocked warps,
 // or the maximum cycle if none could ever issue without outside help.
 func (sm *smRT) nextReady() uint64 {
-	best := ^uint64(0)
-	for _, w := range sm.warps {
-		if !w.blocked && w.readyAt < best {
-			best = w.readyAt
+	best := blockedAt
+	for _, at := range sm.ready {
+		if at < best {
+			best = at
 		}
 	}
 	return best
@@ -94,6 +127,9 @@ type LaunchSpec struct {
 }
 
 // runSpec is a LaunchSpec plus its dispatch cursor and per-kernel stats.
+// Exactly one of three execution modes applies: live execution (mem set),
+// trace capture (mem and rec set), or trace replay (trace set, mem nil —
+// replay never touches benchmark memory).
 type runSpec struct {
 	idx     int
 	k       *isa.Kernel
@@ -101,6 +137,9 @@ type runSpec struct {
 	mem     *isa.Memory
 	kStats  *Stats
 	nextCTA int
+
+	rec   *isa.LaunchRecorder
+	trace *isa.LaunchTrace
 }
 
 // statsSink is where one execution stream accumulates counters: the
@@ -160,11 +199,15 @@ func (ls *launchState) fill(sm *smRT) {
 				continue
 			}
 			ls.rrSpec = (ls.rrSpec + i + 1) % len(ls.specs)
-			makeCTA := isa.MakeCTA
-			if ls.g.cfg.ReferenceInterp {
-				makeCTA = isa.MakeCTARef
+			var cta *isa.CTA
+			switch {
+			case sp.trace != nil:
+				cta = isa.MakeReplayCTA(sp.trace, sp.nextCTA)
+			case ls.g.cfg.ReferenceInterp:
+				cta = isa.MakeCTARef(sp.k, sp.nextCTA, sp.launch, sp.mem)
+			default:
+				cta = isa.MakeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
 			}
-			cta := makeCTA(sp.k, sp.nextCTA, sp.launch, sp.mem)
 			cta.Env.StoreBuf = sm.storeBuf
 			sp.nextCTA++
 			rt := &ctaRT{cta: cta, spec: sp, sm: sm}
@@ -174,14 +217,20 @@ func (ls *launchState) fill(sm *smRT) {
 			wrts := make([]warpRT, len(cta.Warps))
 			for i, w := range cta.Warps {
 				wrt := &wrts[i]
-				wrt.w, wrt.cta, wrt.readyAt = w, rt, ls.now
+				wrt.w, wrt.cta, wrt.env, wrt.readyAt = w, rt, cta.Env, ls.now
 				wrt.done = w.Done()
 				wrt.blocked = wrt.done
+				if sp.rec != nil {
+					wrt.rec = sp.rec.Warp(cta.Index, i)
+				}
 				rt.warps = append(rt.warps, wrt)
 				if !wrt.done {
 					rt.live++
 				}
+				wrt.slot = len(sm.warps)
 				sm.warps = append(sm.warps, wrt)
+				sm.ready = append(sm.ready, 0)
+				sm.syncReady(wrt)
 			}
 			sm.usedCTAs++
 			sm.usedThreads += sp.launch.Block
@@ -269,11 +318,10 @@ func (ls *launchState) nextEvent() (uint64, bool) {
 			}
 			continue
 		}
-		for _, w := range sm.warps {
-			if w.blocked {
+		for _, at := range sm.ready {
+			if at == blockedAt {
 				continue
 			}
-			at := w.readyAt
 			if sm.issueFreeAt > at {
 				at = sm.issueFreeAt
 			}
@@ -300,22 +348,38 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep) (bool,
 	}
 	w := ls.g.sched.pick(sm, ls.now)
 	if w == nil {
-		sm.skipUntil = sm.nextReady()
-		return false, nil
+		return false, nil // pick recorded sm.skipUntil
 	}
 	st := &out.st
-	if err := w.w.Exec(w.cta.cta.Env, st); err != nil {
+	// Devirtualize the two hot executors: this call runs once per warp
+	// instruction and the concrete types let the branch predictor skip
+	// the itab indirection.
+	var err error
+	switch ex := w.w.(type) {
+	case *isa.ReplayWarp:
+		err = ex.Exec(w.env, st)
+	case *isa.Warp:
+		err = ex.Exec(w.env, st)
+	default:
+		err = w.w.Exec(w.env, st)
+	}
+	if err != nil {
 		return false, err
+	}
+	if w.rec != nil {
+		w.rec.Record(st)
 	}
 	out.w = w
 	out.mem = false
 	if st.AtBarrier {
 		w.barrier = true
 		w.blocked = true
+		sm.syncReady(w)
 	}
 	if st.Done {
 		w.done = true
 		w.blocked = true
+		sm.syncReady(w)
 	}
 	cfg := &ls.g.cfg
 	gs, ks := sink.g, sink.k[w.cta.spec.idx]
@@ -376,6 +440,7 @@ func (ls *launchState) priceShared(sm *smRT, step *issuedStep) {
 func (ls *launchState) settleTiming(sm *smRT, step *issuedStep) {
 	sm.issueFreeAt = ls.now + step.issue
 	step.w.readyAt = ls.now + step.lat
+	sm.syncReady(step.w)
 }
 
 // maybeRetire retires the warp's CTA slot if it just finished. Mutates
@@ -406,6 +471,7 @@ func (ls *launchState) checkRelease(cta *ctaRT) {
 			if o.readyAt < ls.now+1 {
 				o.readyAt = ls.now + 1
 			}
+			cta.sm.syncReady(o)
 		}
 	}
 	cta.sm.skipUntil = 0 // released warps may issue next cycle
@@ -414,6 +480,7 @@ func (ls *launchState) checkRelease(cta *ctaRT) {
 func (ls *launchState) retire(sm *smRT, w *warpRT) {
 	w.retired = true
 	w.blocked = true
+	sm.syncReady(w)
 	cta := w.cta
 	cta.live--
 	if cta.live > 0 {
@@ -431,10 +498,15 @@ func (ls *launchState) retire(sm *smRT, w *warpRT) {
 	keep := sm.warps[:0]
 	for _, x := range sm.warps {
 		if x.cta != cta {
+			x.slot = len(keep)
 			keep = append(keep, x)
 		}
 	}
 	sm.warps = keep
+	sm.ready = sm.ready[:len(keep)]
+	for _, x := range keep {
+		sm.syncReady(x)
+	}
 	if sm.rr >= len(sm.warps) {
 		sm.rr = 0
 	}

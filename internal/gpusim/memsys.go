@@ -24,29 +24,37 @@ func newCoalescer(cfg *Config) coalescer {
 // lines returns the coalesced line addresses for a warp's accesses. The
 // returned slice aliases internal scratch, valid until the next call.
 func (c *coalescer) lines(accesses []isa.MemAccess, laneBase uint64) []uint64 {
-	c.scratch = c.scratch[:0]
-	for _, a := range accesses {
+	scratch := c.scratch[:0]
+	for i := range accesses {
+		a := &accesses[i]
 		addr := a.Addr
 		if laneBase != 0 {
 			addr += uint64(a.Lane) << 40
 		}
 		line := (addr >> c.lineShift) << c.lineShift
 		if c.disabled {
-			c.scratch = append(c.scratch, line)
+			scratch = append(scratch, line)
+			continue
+		}
+		// Lanes are visited in ascending order and addresses are usually
+		// monotone, so a repeated line is almost always the one just
+		// emitted — check it before the full dedup scan.
+		if n := len(scratch); n > 0 && scratch[n-1] == line {
 			continue
 		}
 		seen := false
-		for _, x := range c.scratch {
+		for _, x := range scratch {
 			if x == line {
 				seen = true
 				break
 			}
 		}
 		if !seen {
-			c.scratch = append(c.scratch, line)
+			scratch = append(scratch, line)
 		}
 	}
-	return c.scratch
+	c.scratch = scratch
+	return scratch
 }
 
 // bankModel computes the shared-memory bank-conflict degree: the maximum
@@ -57,6 +65,9 @@ func (c *coalescer) lines(accesses []isa.MemAccess, laneBase uint64) []uint64 {
 // It is stateless and safe to call from concurrent SM shards.
 type bankModel struct {
 	banks   int
+	mask    uint64 // banks-1 when banks is a power of two
+	shift   uint   // log2(banks) when banks is a power of two
+	pow2    bool
 	enabled bool
 }
 
@@ -65,7 +76,17 @@ func newBankModel(cfg *Config) bankModel {
 	if banks > 32 {
 		banks = 32 // a warp has at most 32 lanes; more banks never conflict
 	}
-	return bankModel{banks: banks, enabled: cfg.BankConflicts}
+	m := bankModel{banks: banks, enabled: cfg.BankConflicts}
+	// Real parts have power-of-two bank counts; precompute shift and mask
+	// so degree prices each access without hardware divisions.
+	if banks > 0 && banks&(banks-1) == 0 {
+		m.pow2 = true
+		m.mask = uint64(banks - 1)
+		for b := banks; b > 1; b >>= 1 {
+			m.shift++
+		}
+	}
+	return m
 }
 
 // bankScratch is fixed-size per-SM bookkeeping for degree: per bank, the
@@ -85,15 +106,23 @@ func (m bankModel) degree(accesses []isa.MemAccess, scr *bankScratch) int {
 	banks := m.banks
 	degree := 1
 	group := -1
-	for _, a := range accesses {
-		if g := a.Lane / banks; g != group {
+	for i := range accesses {
+		a := &accesses[i]
+		var g, bank int
+		word := a.Addr >> 2
+		if m.pow2 {
+			g = a.Lane >> m.shift
+			bank = int(word & m.mask)
+		} else {
+			g = a.Lane / banks
+			bank = int(word) % banks
+		}
+		if g != group {
 			group = g
 			for i := 0; i < banks; i++ {
 				scr.count[i] = 0
 			}
 		}
-		word := a.Addr >> 2
-		bank := int(word) % banks
 		n := int(scr.count[bank])
 		seen := false
 		for _, x := range scr.words[bank][:n] {

@@ -5,7 +5,11 @@ package gpusim
 // touch state belonging to other SMs: the parallel launch path calls
 // pick concurrently for SMs on different shards.
 type warpScheduler interface {
-	// pick returns a warp on sm that can issue at cycle now, or nil.
+	// pick returns a warp on sm that can issue at cycle now. When no warp
+	// can, it returns nil and must record sm.skipUntil — the earliest
+	// cycle any warp on the SM could issue (smRT.nextReady's value) — so
+	// the event loop skips the SM without rescanning; the failing scan
+	// already visited every warp, so the bound is free.
 	pick(sm *smRT, now uint64) *warpRT
 }
 
@@ -18,23 +22,33 @@ type looseRoundRobin struct{}
 var _ warpScheduler = looseRoundRobin{}
 
 func (looseRoundRobin) pick(sm *smRT, now uint64) *warpRT {
-	n := len(sm.warps)
+	// Scan the SM's flat readiness array rather than the warp structs:
+	// this loop runs every cycle on every SM, and blocked warps are
+	// already folded into the array as an unreachable cycle.
+	ready := sm.ready
+	n := len(ready)
 	if n == 0 {
+		sm.skipUntil = blockedAt
 		return nil
 	}
 	idx := sm.rr + 1
 	if idx >= n {
 		idx = 0
 	}
+	best := blockedAt
 	for i := 0; i < n; i++ {
-		w := sm.warps[idx]
-		if !w.blocked && w.readyAt <= now {
+		at := ready[idx]
+		if at <= now {
 			sm.rr = idx
-			return w
+			return sm.warps[idx]
+		}
+		if at < best {
+			best = at
 		}
 		if idx++; idx >= n {
 			idx = 0
 		}
 	}
+	sm.skipUntil = best
 	return nil
 }

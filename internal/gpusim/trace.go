@@ -1,0 +1,175 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Trace capture and replay. A GPU with a TraceBuilder attached (Capture)
+// records the functional half of every launch it runs — per-warp
+// instruction streams, masks and addresses (isa.LaunchTrace) — into a
+// RunTrace. A later GPU built for a *different* timing configuration can
+// Replay the RunTrace: the event loop, scheduler, coalescer, caches and
+// DRAM model all run exactly as in live execution, but warps are
+// isa.ReplayWarp instances fed from the trace, so kernels are never
+// re-executed and no benchmark memory is allocated.
+//
+// Validity. Replay reproduces full execution bit-identically on
+// gpusim.Stats only when the replay configuration cannot change the
+// functional streams. The explicit predicate (CompatibleWith) requires:
+//
+//   - the trace is replayable at all: only single-kernel launches (the
+//     concurrent-kernel path interleaves dispatch cursors across
+//     kernels), no atomics (an atomic's observed value depends on the
+//     warp schedule, and every timing knob changes the schedule), and
+//     every PC fits the trace encoding;
+//   - the replay does not request the reference interpreter, whose whole
+//     point is to re-execute the kernel.
+//
+// Any cross-config replay — even one that only changes DRAM channel
+// count — relies on the functional streams being schedule-independent:
+// a latency change reorders warp issue, so a kernel whose loads observe
+// values concurrently stored by other warps in the same launch could
+// record a stream the new schedule would not produce. The simulator
+// already stakes the shard-parallel path's bit-identity on exactly this
+// workload invariant (see parallel.go: cross-CTA communication within a
+// launch is absent or benign same-value; synchronization happens between
+// launches through the host), and atomics — the one schedule-visible
+// instruction class — invalidate the trace at capture. Under that
+// invariant the streams are also independent of CTA→SM placement, so
+// traces replay across SM-count and occupancy changes too; the
+// differential tests in internal/core pin bit-identity empirically for
+// every benchmark across the experiment configurations (Figure 4
+// channels, Figure 5 architectures, the Plackett-Burman rows).
+//
+// For defense in depth, strictPlacement additionally requires identical
+// CTA→SM placement: same NumSMs and, for every (kernel, block) in the
+// trace, the same CTAsPerSM. Placement for single-kernel launches is
+// fully determined by those two (fill packs CTAs onto each SM until its
+// budgets are exhausted), so a strict replay runs the recorded streams
+// under the exact capture placement. Use it when running workloads whose
+// launch-synchronization discipline is unvetted.
+//
+// Incompatibility is a normal condition, not an error: callers fall back
+// to full execution (and typically capture a fresh trace while at it).
+
+// RunTrace is the functional recording of one benchmark run: every
+// kernel launch the benchmark issued, in order, under the configuration
+// it was captured with. Replays only read the trace, so one RunTrace may
+// serve any number of concurrent replays.
+type RunTrace struct {
+	cfg      Config
+	launches []*isa.LaunchTrace
+	invalid  string
+	bytes    int64
+}
+
+// Bytes reports the retained size of the trace's slabs and headers.
+func (rt *RunTrace) Bytes() int64 { return rt.bytes }
+
+// NumLaunches reports how many kernel launches the trace holds.
+func (rt *RunTrace) NumLaunches() int { return len(rt.launches) }
+
+// CaptureConfig returns the configuration the trace was recorded under.
+func (rt *RunTrace) CaptureConfig() Config { return rt.cfg }
+
+// CompatibleWith reports whether replaying the trace under cfg
+// reproduces full execution bit-identically (see the validity discussion
+// at the top of this file). strictPlacement additionally demands the
+// capture's exact CTA→SM placement. A nil return means compatible;
+// otherwise the error explains the mismatch so callers can log the
+// fallback decision.
+func (rt *RunTrace) CompatibleWith(cfg *Config, strictPlacement bool) error {
+	if rt.invalid != "" {
+		return fmt.Errorf("gpusim: trace not replayable: %s", rt.invalid)
+	}
+	if cfg.ReferenceInterp {
+		return fmt.Errorf("gpusim: config %s requests the reference interpreter; replay skips execution entirely", cfg.Name)
+	}
+	if !strictPlacement {
+		return nil
+	}
+	if cfg.NumSMs != rt.cfg.NumSMs {
+		return fmt.Errorf("gpusim: trace captured with %d SMs; config %s has %d (CTA placement changes)",
+			rt.cfg.NumSMs, cfg.Name, cfg.NumSMs)
+	}
+	for _, lt := range rt.launches {
+		was, now := rt.cfg.CTAsPerSM(lt.Kernel, lt.Launch.Block), cfg.CTAsPerSM(lt.Kernel, lt.Launch.Block)
+		if was != now {
+			return fmt.Errorf("gpusim: kernel %s: %d CTAs/SM at capture vs %d under %s (CTA placement changes)",
+				lt.Kernel.Name, was, now, cfg.Name)
+		}
+	}
+	return nil
+}
+
+// TraceBuilder accumulates a RunTrace while a capturing GPU runs a
+// benchmark. Obtain one with GPU.Capture before the run and its trace
+// with Trace after.
+type TraceBuilder struct {
+	rt *RunTrace
+}
+
+// Trace returns the accumulated trace. The trace answers CompatibleWith
+// truthfully even when capture saw something unrecordable — it is then
+// permanently incompatible, with the reason preserved.
+func (tb *TraceBuilder) Trace() *RunTrace { return tb.rt }
+
+func (tb *TraceBuilder) add(lt *isa.LaunchTrace) {
+	if tb.rt.invalid != "" {
+		return
+	}
+	tb.rt.launches = append(tb.rt.launches, lt)
+	tb.rt.bytes += lt.Bytes()
+}
+
+// invalidate marks the trace permanently non-replayable and drops any
+// recorded launches: a partial trace must never drive a replay.
+func (tb *TraceBuilder) invalidate(reason string) {
+	if tb.rt.invalid == "" {
+		tb.rt.invalid = reason
+	}
+	tb.rt.launches = nil
+	tb.rt.bytes = 0
+}
+
+// Capture attaches a trace recorder to the GPU: every subsequent launch
+// is recorded into the returned builder's RunTrace alongside normal
+// timing simulation. Recording does not perturb Stats.
+func (g *GPU) Capture() *TraceBuilder {
+	tb := &TraceBuilder{rt: &RunTrace{cfg: g.cfg}}
+	g.capture = tb
+	return tb
+}
+
+// Replay drives the GPU's timing model from a recorded trace instead of
+// executing kernels. It fails up front when the trace is incompatible
+// with the GPU's configuration (see RunTrace.CompatibleWith); it never
+// partially replays. Callers wanting strict-placement replay check
+// CompatibleWith themselves before calling.
+func (g *GPU) Replay(rt *RunTrace) error {
+	if err := rt.CompatibleWith(&g.cfg, false); err != nil {
+		return err
+	}
+	for _, lt := range rt.launches {
+		sp := &runSpec{
+			idx: 0, k: lt.Kernel, launch: lt.Launch, trace: lt,
+			kStats: NewStats(g.cfg.Name),
+		}
+		if err := g.runLaunch([]*runSpec{sp}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usesAtomics reports whether the kernel contains an atomic instruction.
+func usesAtomics(k *isa.Kernel) bool {
+	for i := range k.Instrs {
+		if k.Instrs[i].Op == isa.OpAtom {
+			return true
+		}
+	}
+	return false
+}
