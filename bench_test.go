@@ -17,6 +17,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 	"repro/internal/workloads"
 )
 
@@ -149,6 +150,45 @@ func BenchmarkCPUWorkloads(b *testing.B) {
 			var refs uint64
 			for i := 0; i < b.N; i++ {
 				p := core.CharacterizeCPU(w)
+				refs = p.MemRefs
+			}
+			b.ReportMetric(float64(refs), "mem-refs")
+		})
+	}
+}
+
+// --- Characterization cost along the problem-size axis ---
+
+// BenchmarkCharacterizeBySize tracks how pipeline cost scales with the
+// size axis: one representative GPU benchmark and one CPU workload at
+// every size class. The test-class legs double as the CI smoke for the
+// size-parameterized entry points.
+func BenchmarkCharacterizeBySize(b *testing.B) {
+	bench, ok := kernels.ByAbbrev("SRAD")
+	if !ok {
+		b.Fatal("unknown benchmark SRAD")
+	}
+	w, ok := workloads.ByName("srad")
+	if !ok {
+		b.Fatal("unknown workload srad")
+	}
+	for _, c := range sizes.Classes() {
+		c := c
+		b.Run("gpu/SRAD/"+c.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				st, err := core.CharacterizeGPUAt(bench, c, gpusim.Base(), false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+		b.Run("cpu/srad/"+c.String(), func(b *testing.B) {
+			var refs uint64
+			for i := 0; i < b.N; i++ {
+				p := core.CharacterizeCPUAt(w, c)
 				refs = p.MemRefs
 			}
 			b.ReportMetric(float64(refs), "mem-refs")

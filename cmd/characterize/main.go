@@ -8,6 +8,7 @@
 //	characterize                 # all 24 workloads
 //	characterize -suite rodinia  # one suite (rodinia | parsec)
 //	characterize -w srad,canneal # specific workloads
+//	characterize -size test      # problem size class (test | medium | large)
 package main
 
 import (
@@ -19,13 +20,21 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/sizes"
 	"repro/internal/workloads"
 )
 
 func main() {
 	suite := flag.String("suite", "", "restrict to one suite: rodinia or parsec")
 	names := flag.String("w", "", "comma-separated workload names")
+	sizeName := flag.String("size", sizes.Default.String(), "problem size class: test, medium or large")
 	flag.Parse()
+
+	size, err := sizes.Parse(*sizeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var ws []*workloads.Workload
 	switch {
@@ -53,7 +62,7 @@ func main() {
 		fmt.Sprintf("Miss@%dkB", 4096), "SharedLines", "SharedAcc", "InstrBlocks", "DataPages"}
 	var rows [][]string
 	for _, w := range ws {
-		p := core.CharacterizeCPU(w)
+		p := core.CharacterizeCPUAt(w, size)
 		rows = append(rows, []string{
 			p.Label(),
 			fmt.Sprintf("%.2f", p.ALU),

@@ -4,6 +4,8 @@
 //
 //	experiments              # run everything, in paper order
 //	experiments -only fig1   # run one experiment (comma-separated ids)
+//	experiments -size test   # problem size class (test | medium | large)
+//	experiments -classes test,large # restrict the scaling experiment's sweep
 //	experiments -list        # list experiment ids
 //	experiments -nocheck     # skip functional validation of GPU kernels
 //	experiments -out results # also write one <id>.txt per artifact
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sizes"
 )
 
 // writeMemProfile records a heap profile after a final GC so the numbers
@@ -57,6 +60,8 @@ func writeMemProfile(path string) {
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	sizeName := flag.String("size", sizes.Default.String(), "problem size class: test, medium or large")
+	classesList := flag.String("classes", "", "comma-separated size classes for the scaling sweep (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
 	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
@@ -66,6 +71,20 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	size, err := sizes.Parse(*sizeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var scalingClasses []sizes.Class
+	if *classesList != "" {
+		scalingClasses, err = sizes.ParseList(*classesList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -116,6 +135,8 @@ func main() {
 	ctx := experiments.NewContext()
 	ctx.Check = !*nocheck
 	ctx.Replay = *replay
+	ctx.Size = size
+	ctx.ScalingClasses = scalingClasses
 	if *tracelog {
 		ctx.TraceLog = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)

@@ -5,6 +5,8 @@
 //
 //	rodiniasim                      # all benchmarks on the base config
 //	rodiniasim -bench SRAD,BFS      # a subset
+//	rodiniasim -size test           # problem size class: test | medium | large
+//	rodiniasim -list                # list benchmarks and per-class sizes, then exit
 //	rodiniasim -config gtx480-l1    # base | base8 | gtx280 | gtx480-shared | gtx480-l1
 //	rodiniasim -config base,gtx280  # sweep several configs (trace-once, replay-many)
 //	rodiniasim -replay=false        # re-execute kernels for every config of a sweep
@@ -35,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 )
 
 // writeMemProfile records a heap profile after a final GC so the numbers
@@ -56,6 +59,19 @@ func writeMemProfile(path string) {
 	}
 }
 
+// listBenchmarks prints every benchmark with its dwarf, the paper's
+// problem size, and the simulated size of each class.
+func listBenchmarks() {
+	fmt.Printf("%-8s %-22s %-28s %s\n", "Abbrev", "Dwarf", "Paper size", "Simulated sizes (test | medium | large)")
+	for _, b := range kernels.All() {
+		var per []string
+		for _, c := range sizes.Classes() {
+			per = append(per, b.SimSize(c))
+		}
+		fmt.Printf("%-8s %-22s %-28s %s\n", b.Abbrev, b.Dwarf, b.PaperSize, strings.Join(per, " | "))
+	}
+}
+
 func configByName(name string) (gpusim.Config, error) {
 	switch name {
 	case "base":
@@ -74,6 +90,8 @@ func configByName(name string) (gpusim.Config, error) {
 
 func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
+	sizeName := flag.String("size", sizes.Default.String(), "problem size class: test, medium or large")
+	list := flag.Bool("list", false, "list benchmarks with their per-class sizes and exit")
 	cfgName := flag.String("config", "base", "GPU configuration, or a comma-separated sweep")
 	replay := flag.Bool("replay", true, "in a multi-config sweep, trace each benchmark once and replay it")
 	nocheck := flag.Bool("nocheck", false, "skip functional validation against the CPU reference")
@@ -83,6 +101,17 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *list {
+		listBenchmarks()
+		return
+	}
+
+	size, err := sizes.Parse(*sizeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -146,10 +175,11 @@ func main() {
 		ctx = experiments.NewContext()
 		ctx.Check = !*nocheck
 		ctx.Replay = *replay
+		ctx.Size = size
 	}
 	runBench := func(b *kernels.Benchmark) outcome {
 		if ctx == nil {
-			st, err := core.CharacterizeGPU(b, cfg, !*nocheck)
+			st, err := core.CharacterizeGPUAt(b, size, cfg, !*nocheck)
 			return outcome{sts: []*gpusim.Stats{st}, err: err}
 		}
 		var sts []*gpusim.Stats
@@ -195,9 +225,9 @@ func main() {
 		}
 		for ci, st := range sts {
 			if len(cfgs) == 1 {
-				fmt.Printf("--- %s (%s, %s) ---\n", b.Name, b.Dwarf, b.SimSize)
+				fmt.Printf("--- %s (%s, %s) ---\n", b.Name, b.Dwarf, b.SimSize(size))
 			} else {
-				fmt.Printf("--- %s (%s, %s) @ %s ---\n", b.Name, b.Dwarf, b.SimSize, cfgs[ci].Name)
+				fmt.Printf("--- %s (%s, %s) @ %s ---\n", b.Name, b.Dwarf, b.SimSize(size), cfgs[ci].Name)
 			}
 			fmt.Println(st)
 			if *perKernel {

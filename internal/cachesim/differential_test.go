@@ -56,7 +56,7 @@ func TestSweepMatchesNaiveAllWorkloads(t *testing.T) {
 			fast := NewSweep()
 			naive := NewNaiveSweep()
 			h := trace.NewHarness(workloads.Threads, fast, naive)
-			w.Run(h)
+			w.RunDefault(h)
 			if fast.Accesses == 0 {
 				t.Fatalf("%s produced no memory accesses", w.Name)
 			}

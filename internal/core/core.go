@@ -13,6 +13,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -84,14 +85,19 @@ func (p *CPUProfile) FullVector() []float64 {
 
 // CharacterizeCPU runs one workload through the Pin-equivalent pipeline
 // with the paper's methodology: 8 threads, one shared 4-way cache per
-// size, 64-byte lines.
+// size, 64-byte lines. It traces the default (medium) size class.
 func CharacterizeCPU(w *workloads.Workload) *CPUProfile {
+	return CharacterizeCPUAt(w, sizes.Default)
+}
+
+// CharacterizeCPUAt is CharacterizeCPU at an explicit size class.
+func CharacterizeCPUAt(w *workloads.Workload, size sizes.Class) *CPUProfile {
 	mix := &cachesim.Mix{}
 	sweep := cachesim.NewSweep()
 	sharing := cachesim.NewSharing()
 	foot := cachesim.NewDataFootprint()
 	h := trace.NewHarness(workloads.Threads, mix, sweep, sharing, foot)
-	w.Run(h)
+	w.RunAt(h, size)
 
 	alu, br, ld, st := mix.Fractions()
 	return &CPUProfile{
@@ -119,12 +125,19 @@ func CharacterizeCPUAll(ws []*workloads.Workload) []*CPUProfile {
 	return CharacterizeCPUAllWorkers(ws, 0)
 }
 
-// CharacterizeCPUAllWorkers profiles the given workloads on up to the
-// given number of worker goroutines (≤ 0 means GOMAXPROCS). Each worker
-// builds its own harness and consumers, so workloads never share mutable
-// state; profiles are returned in input order and are identical to a
-// serial pass regardless of the worker count.
+// CharacterizeCPUAllWorkers profiles the given workloads at the default
+// size class; see CharacterizeCPUAllWorkersAt.
 func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProfile {
+	return CharacterizeCPUAllWorkersAt(ws, sizes.Default, workers)
+}
+
+// CharacterizeCPUAllWorkersAt profiles the given workloads at one size
+// class on up to the given number of worker goroutines (≤ 0 means
+// GOMAXPROCS). Each worker builds its own harness and consumers, so
+// workloads never share mutable state; profiles are returned in input
+// order and are identical to a serial pass regardless of the worker
+// count.
+func CharacterizeCPUAllWorkersAt(ws []*workloads.Workload, size sizes.Class, workers int) []*CPUProfile {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -134,7 +147,7 @@ func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProf
 	out := make([]*CPUProfile, len(ws))
 	if workers <= 1 {
 		for i, w := range ws {
-			out[i] = CharacterizeCPU(w)
+			out[i] = CharacterizeCPUAt(w, size)
 		}
 		return out
 	}
@@ -145,7 +158,7 @@ func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProf
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = CharacterizeCPU(ws[i])
+				out[i] = CharacterizeCPUAt(ws[i], size)
 			}
 		}()
 	}
@@ -157,11 +170,18 @@ func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProf
 	return out
 }
 
-// CharacterizeGPU runs one Rodinia benchmark to completion on a simulated
-// GPU and returns the accumulated statistics. With check set, device
-// results are validated against the CPU reference first.
+// CharacterizeGPU runs one Rodinia benchmark at the default (medium)
+// size class; see CharacterizeGPUAt.
 func CharacterizeGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
-	in := b.Instance()
+	return CharacterizeGPUAt(b, sizes.Default, cfg, check)
+}
+
+// CharacterizeGPUAt runs one Rodinia benchmark at the given size class to
+// completion on a simulated GPU and returns the accumulated statistics.
+// With check set, device results are validated against the CPU reference
+// first.
+func CharacterizeGPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	in := b.InstanceAt(size)
 	g, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -177,13 +197,18 @@ func CharacterizeGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpus
 	return g.Stats, nil
 }
 
-// CaptureGPU is CharacterizeGPU with trace recording: alongside the
+// CaptureGPU is CaptureGPUAt at the default (medium) size class.
+func CaptureGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	return CaptureGPUAt(b, sizes.Default, cfg, check)
+}
+
+// CaptureGPUAt is CharacterizeGPUAt with trace recording: alongside the
 // statistics it returns a functional trace of every kernel launch the
 // benchmark issued, suitable for ReplayGPU under compatible
 // configurations (gpusim.RunTrace.CompatibleWith). Recording does not
 // perturb the statistics.
-func CaptureGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
-	in := b.Instance()
+func CaptureGPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	in := b.InstanceAt(size)
 	g, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, nil, err

@@ -90,7 +90,7 @@ func referenceCharacterizeCPU(w *workloads.Workload) *CPUProfile {
 	sharing := &refSharing{lines: make(map[uint64]uint64)}
 	foot := &refFootprint{pages: make(map[uint64]struct{})}
 	h := trace.NewHarness(workloads.Threads, perEventOnly{mix}, sweep, sharing, foot)
-	w.Run(h)
+	w.RunDefault(h)
 
 	alu, br, ld, st := mix.Fractions()
 	var sharedAcc, sharedStore float64

@@ -9,6 +9,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 	"repro/internal/stats"
 )
 
@@ -47,6 +48,45 @@ func replayConfigs(b *kernels.Benchmark) []gpusim.Config {
 // under every configuration the experiment suite sweeps — on both the
 // sequential and the shard-parallel event loop. Run under -race in CI,
 // the sharded legs also prove replay race-clean.
+// TestGPUReplayDifferentialTestSize repeats the replay differential at
+// the test size class: traces carry their capture instance's problem
+// size, so replay must stay bit-identical to live execution at
+// non-default sizes too. The test class is small enough to run in
+// -short mode, giving the fast path replay coverage off the default
+// size.
+func TestGPUReplayDifferentialTestSize(t *testing.T) {
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			capSt, rt, err := core.CaptureGPUAt(b, sizes.Test, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveBase, err := core.CharacterizeGPUAt(b, sizes.Test, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(capSt, liveBase) {
+				t.Fatal("capture perturbs the capturing run's stats")
+			}
+			for _, cfg := range []gpusim.Config{gpusim.Base8SM(), gpusim.GTX280()} {
+				live, err := core.CharacterizeGPUAt(b, sizes.Test, cfg, false)
+				if err != nil {
+					t.Fatalf("%s live: %v", cfg.Name, err)
+				}
+				got, err := core.ReplayGPU(b, cfg, rt)
+				if err != nil {
+					t.Fatalf("%s replay: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(got, live) {
+					t.Errorf("%s: replay diverges from live execution at test size\n got: %+v\nwant: %+v", cfg.Name, got, live)
+				}
+			}
+		})
+	}
+}
+
 func TestGPUReplayDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full characterization sweep in -short mode")

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 	"repro/internal/workloads"
 )
 
@@ -40,6 +41,17 @@ type Context struct {
 	// Check validates every GPU benchmark against its CPU reference
 	// before trusting its statistics.
 	Check bool
+
+	// Size is the problem-size class experiments characterize at.
+	// NewContext sets the default (medium) class, which reproduces the
+	// paper's figures; note the Class zero value is the test class, so
+	// a hand-built zero Context characterizes at test. The scaling
+	// experiment sweeps every class regardless of this setting.
+	Size sizes.Class
+
+	// ScalingClasses restricts the scaling experiment's sweep
+	// (nil means every size class).
+	ScalingClasses []sizes.Class
 
 	// Workers bounds the CPU-profiling worker pool used by Profiles
 	// (≤ 0 means GOMAXPROCS). Whatever the value, the single memoized
@@ -70,22 +82,36 @@ type Context struct {
 	// capture, replay, fallback, eviction.
 	TraceLog func(format string, args ...any)
 
-	mu       sync.Mutex
-	gpuCalls map[gpuKey]*gpuCall
-	profCall *profilesCall
-	gates    map[string]*sync.Mutex
-	traces   *traceCache
+	mu        sync.Mutex
+	gpuCalls  map[gpuKey]*gpuCall
+	profCalls map[sizes.Class]*profilesCall
+	gates     map[traceID]*sync.Mutex
+	traces    *traceCache
 }
 
 // gpuKey memoizes characterizations by configuration value, not name:
 // experiments rename otherwise-identical configurations (Figure 4's
 // 8-channel point is the base configuration), and Stats are a pure
-// function of (benchmark, configuration value) — nothing downstream
-// prints the name a memoized result was first computed under.
+// function of (benchmark, size class, configuration value) — nothing
+// downstream prints the name a memoized result was first computed under.
+// The size class is part of the key: two instances of one benchmark that
+// differ only in problem size must never share an entry.
 type gpuKey struct {
 	bench string
+	size  sizes.Class
 	cfg   gpusim.Config
 }
+
+// traceID identifies the functional trace of one benchmark instance.
+// Like gpuKey, it carries the size class: a trace captured at one size
+// replays a different instruction stream than any other size, so reusing
+// it across classes would silently corrupt every derived figure.
+type traceID struct {
+	bench string
+	size  sizes.Class
+}
+
+func (id traceID) String() string { return id.bench + "@" + id.size.String() }
 
 // gpuCall is one in-flight or completed GPU characterization.
 type gpuCall struct {
@@ -103,24 +129,34 @@ type profilesCall struct {
 // The characterization entry points are swappable so tests can count and
 // fake executions.
 var (
-	characterizeGPU = core.CharacterizeGPU
-	captureGPU      = core.CaptureGPU
+	characterizeGPU = core.CharacterizeGPUAt
+	captureGPU      = core.CaptureGPUAt
 	replayGPU       = core.ReplayGPU
 )
 
 // NewContext returns an empty cache with validation and trace replay
-// enabled.
+// enabled, characterizing at the default (medium) size class.
 func NewContext() *Context {
-	return &Context{Check: true, Replay: true, gpuCalls: make(map[gpuKey]*gpuCall)}
+	return &Context{Check: true, Replay: true, Size: sizes.Default, gpuCalls: make(map[gpuKey]*gpuCall)}
 }
 
-// GPU characterizes a benchmark on a configuration, memoized. Errors are
-// cached too: a characterization that fails once fails the same way for
-// every experiment that needs it, without re-running the simulation.
+// GPU characterizes a benchmark on a configuration at the Context's size
+// class, memoized. Errors are cached too: a characterization that fails
+// once fails the same way for every experiment that needs it, without
+// re-running the simulation.
 func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, error) {
-	key := gpuKey{bench: b.Abbrev, cfg: cfg}
+	return c.GPUAt(b, c.Size, cfg)
+}
+
+// GPUAt is GPU at an explicit size class; the class is part of the memo
+// key, so the same benchmark at different sizes never shares a result.
+func (c *Context) GPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config) (*gpusim.Stats, error) {
+	key := gpuKey{bench: b.Abbrev, size: size, cfg: cfg}
 	key.cfg.Name = ""
 	c.mu.Lock()
+	if c.gpuCalls == nil {
+		c.gpuCalls = make(map[gpuKey]*gpuCall)
+	}
 	if call, ok := c.gpuCalls[key]; ok {
 		c.mu.Unlock()
 		<-call.done
@@ -130,64 +166,66 @@ func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, e
 	c.gpuCalls[key] = call
 	c.mu.Unlock()
 
-	call.stats, call.err = c.characterize(b, cfg)
+	call.stats, call.err = c.characterize(b, size, cfg)
 	close(call.done)
 	return call.stats, call.err
 }
 
-// characterize runs one (benchmark, configuration) characterization,
-// through the trace cache when replay is enabled. A per-benchmark gate
-// serializes capture against concurrent requests for the same benchmark,
-// so a sweep racing several configurations of one benchmark records its
-// functional pass exactly once and replays the rest.
-func (c *Context) characterize(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, error) {
+// characterize runs one (benchmark, size, configuration)
+// characterization, through the trace cache when replay is enabled. A
+// per-instance gate serializes capture against concurrent requests for
+// the same benchmark at the same size, so a sweep racing several
+// configurations of one instance records its functional pass exactly
+// once and replays the rest.
+func (c *Context) characterize(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config) (*gpusim.Stats, error) {
 	if !c.Replay {
-		return characterizeGPU(b, cfg, c.Check)
+		return characterizeGPU(b, size, cfg, c.Check)
 	}
-	gate, traces := c.traceState(b.Abbrev)
+	id := traceID{bench: b.Abbrev, size: size}
+	gate, traces := c.traceState(id)
 	gate.Lock()
-	rt, fallback := traces.lookup(b.Abbrev, &cfg, c.StrictPlacement)
+	rt, fallback := traces.lookup(id, &cfg, c.StrictPlacement)
 	if rt != nil {
 		gate.Unlock() // replays only read the trace; they need no gate
-		c.tracef("replay   %s on %s (%d launches)", b.Abbrev, cfg.Name, rt.NumLaunches())
+		c.tracef("replay   %s on %s (%d launches)", id, cfg.Name, rt.NumLaunches())
 		return replayGPU(b, cfg, rt)
 	}
 	defer gate.Unlock()
 	traces.noteCapture(fallback != "")
 	if fallback != "" {
-		c.tracef("fallback %s on %s: %s", b.Abbrev, cfg.Name, fallback)
+		c.tracef("fallback %s on %s: %s", id, cfg.Name, fallback)
 	} else {
-		c.tracef("capture  %s on %s", b.Abbrev, cfg.Name)
+		c.tracef("capture  %s on %s", id, cfg.Name)
 	}
-	st, fresh, err := captureGPU(b, cfg, c.Check)
+	st, fresh, err := captureGPU(b, size, cfg, c.Check)
 	if err != nil {
 		return nil, err
 	}
-	evicted, cached := traces.insert(b.Abbrev, fresh)
+	evicted, cached := traces.insert(id, fresh)
 	for _, victim := range evicted {
 		c.tracef("evict    %s (cache over %d bytes)", victim, traces.capBytes)
 	}
 	if !cached {
-		c.tracef("uncached %s: trace is %d bytes, cap %d", b.Abbrev, fresh.Bytes(), traces.capBytes)
+		c.tracef("uncached %s: trace is %d bytes, cap %d", id, fresh.Bytes(), traces.capBytes)
 	}
 	return st, nil
 }
 
-// traceState returns the benchmark's capture gate and the trace cache,
+// traceState returns the instance's capture gate and the trace cache,
 // creating them on first use.
-func (c *Context) traceState(bench string) (*sync.Mutex, *traceCache) {
+func (c *Context) traceState(id traceID) (*sync.Mutex, *traceCache) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gates == nil {
-		c.gates = make(map[string]*sync.Mutex)
+		c.gates = make(map[traceID]*sync.Mutex)
 	}
 	if c.traces == nil {
 		c.traces = newTraceCache(c.TraceCacheBytes)
 	}
-	gate := c.gates[bench]
+	gate := c.gates[id]
 	if gate == nil {
 		gate = &sync.Mutex{}
-		c.gates[bench] = gate
+		c.gates[id] = gate
 	}
 	return gate, c.traces
 }
@@ -210,18 +248,27 @@ func (c *Context) tracef(format string, args ...any) {
 	}
 }
 
-// Profiles characterizes every CPU workload once, memoized with the same
-// singleflight semantics as GPU: however many Figure 6-12 experiments race
-// here, exactly one profiling pass runs (fanned across Workers goroutines)
-// and the rest wait for its result.
+// Profiles characterizes every CPU workload once at the Context's size
+// class, memoized with the same singleflight semantics as GPU: however
+// many Figure 6-12 experiments race here, exactly one profiling pass runs
+// (fanned across Workers goroutines) and the rest wait for its result.
 func (c *Context) Profiles() []*core.CPUProfile {
+	return c.ProfilesAt(c.Size)
+}
+
+// ProfilesAt is Profiles at an explicit size class; each class is
+// memoized independently.
+func (c *Context) ProfilesAt(size sizes.Class) []*core.CPUProfile {
 	c.mu.Lock()
-	call := c.profCall
+	if c.profCalls == nil {
+		c.profCalls = make(map[sizes.Class]*profilesCall)
+	}
+	call := c.profCalls[size]
 	if call == nil {
 		call = &profilesCall{done: make(chan struct{})}
-		c.profCall = call
+		c.profCalls[size] = call
 		c.mu.Unlock()
-		call.profiles = core.CharacterizeCPUAllWorkers(workloads.All(), c.Workers)
+		call.profiles = core.CharacterizeCPUAllWorkersAt(workloads.All(), size, c.Workers)
 		close(call.done)
 		return call.profiles
 	}
@@ -237,6 +284,7 @@ func All() []*Experiment {
 		expTable3, expFig5, expPB, expTable4, expTable5,
 		expFig6, expFig7, expFig8, expFig9, expFig10, expFig11, expFig12,
 		expDwarfs, expDivergence, expCorrelate, expConcurrent,
+		expScaling,
 	}
 }
 

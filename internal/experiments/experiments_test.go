@@ -4,15 +4,25 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sizes"
 	"repro/internal/stats"
 )
+
+// TestNewContextDefaultsToMediumSize pins the paper-reproduction
+// default: the Class zero value is the test class, so NewContext must
+// set the medium class explicitly or every figure silently shrinks.
+func TestNewContextDefaultsToMediumSize(t *testing.T) {
+	if got := NewContext().Size; got != sizes.Default {
+		t.Fatalf("NewContext().Size = %v, want %v", got, sizes.Default)
+	}
+}
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig1", "fig2", "fig3", "fig4",
 		"table3", "fig5", "pb", "table4", "table5",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"dwarfs", "divergence", "correlate", "conc",
+		"dwarfs", "divergence", "correlate", "conc", "scaling",
 	}
 	got := IDs()
 	if len(got) != len(want) {

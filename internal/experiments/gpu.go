@@ -19,7 +19,7 @@ var expTable1 = &Experiment{
 	Run: func(ctx *Context) (*Result, error) {
 		var rows [][]string
 		for _, b := range kernels.All() {
-			rows = append(rows, []string{b.Name, b.Dwarf, b.Domain, b.PaperSize, b.SimSize})
+			rows = append(rows, []string{b.Name, b.Dwarf, b.Domain, b.PaperSize, b.SimSize(ctx.Size)})
 		}
 		return &Result{
 			ID:    "table1",

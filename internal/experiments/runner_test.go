@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/sizes"
 )
 
 // TestContextSingleflight hammers one memoization key from many
@@ -19,7 +20,7 @@ import (
 func TestContextSingleflight(t *testing.T) {
 	var runs atomic.Int32
 	orig := characterizeGPU
-	characterizeGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
 		runs.Add(1)
 		time.Sleep(10 * time.Millisecond) // widen the race window
 		return gpusim.NewStats(cfg.Name), nil
@@ -58,7 +59,7 @@ func TestContextSingleflight(t *testing.T) {
 func TestContextSingleflightCachesErrors(t *testing.T) {
 	var runs atomic.Int32
 	orig := characterizeGPU
-	characterizeGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
 		runs.Add(1)
 		return nil, fmt.Errorf("boom")
 	}
@@ -74,6 +75,52 @@ func TestContextSingleflightCachesErrors(t *testing.T) {
 	}
 	if got := runs.Load(); got != 1 {
 		t.Fatalf("failing characterization ran %d times, want 1", got)
+	}
+}
+
+// TestMemoKeyedBySize is the memoization half of the size-axis
+// regression: two requests for the same benchmark under the same
+// configuration that differ only in problem-size class must each run
+// their own characterization — before the size class joined gpuKey they
+// silently shared one entry, so whichever class ran first poisoned the
+// other's figures.
+func TestMemoKeyedBySize(t *testing.T) {
+	var runs atomic.Int32
+	orig := characterizeGPU
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+		runs.Add(1)
+		return gpusim.NewStats(size.String()), nil
+	}
+	defer func() { characterizeGPU = orig }()
+
+	ctx := NewContext()
+	ctx.Replay = false // pin the stubbed non-replay path
+	b := kernels.All()[0]
+	cfg := gpusim.Base8SM()
+	stTest, err := ctx.GPUAt(b, sizes.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stLarge, err := ctx.GPUAt(b, sizes.Large, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("characterization ran %d times for two size classes, want 2", got)
+	}
+	if stTest == stLarge {
+		t.Fatal("test and large classes shared one memoized result")
+	}
+	// Same instance again: memoized, no third run.
+	again, err := ctx.GPUAt(b, sizes.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != stTest {
+		t.Fatal("repeat request was not served from the memo")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("characterization ran %d times after a repeat request, want 2", got)
 	}
 }
 
@@ -141,10 +188,10 @@ func TestRunConcurrentNoDeliver(t *testing.T) {
 func TestContextSingleflightReplayPath(t *testing.T) {
 	var captures, replays atomic.Int32
 	origCap, origRep := captureGPU, replayGPU
-	captureGPU = func(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	captureGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
 		captures.Add(1)
 		time.Sleep(10 * time.Millisecond) // widen the race window
-		st, rt, err := origCap(b, cfg, false)
+		st, rt, err := origCap(b, size, cfg, false)
 		return st, rt, err
 	}
 	replayGPU = func(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace) (*gpusim.Stats, error) {

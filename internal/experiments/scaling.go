@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/report"
+	"repro/internal/sizes"
+	"repro/internal/workloads"
+)
+
+// --- Scaling study: problem size as a first-class axis ---
+//
+// The paper characterizes each application at one input (Table I); this
+// extension sweeps every GPU benchmark across the test/medium/large size
+// classes on the base configuration and reports how IPC, the global
+// working set, and inter-CTA sharing respond, plus how the CPU Rodinia
+// workloads' sharing degree (MeanSharers) scales with input class.
+
+var expScaling = &Experiment{
+	ID:    "scaling",
+	Title: "Scaling study: IPC, working set and sharing across input size classes",
+	Run: func(ctx *Context) (*Result, error) {
+		classes := ctx.ScalingClasses
+		if len(classes) == 0 {
+			classes = sizes.Classes()
+		}
+
+		var labels []string
+		ipc := make([]report.Series, len(classes))
+		ws := make([]report.Series, len(classes))
+		share := make([]report.Series, len(classes))
+		for i, cl := range classes {
+			ipc[i].Name = cl.String()
+			ws[i].Name = cl.String()
+			share[i].Name = cl.String()
+		}
+		cfg := gpusim.Base()
+		for _, b := range kernels.All() {
+			labels = append(labels, b.Abbrev)
+			for i, cl := range classes {
+				st, err := ctx.GPUAt(b, cl, cfg)
+				if err != nil {
+					return nil, err
+				}
+				ipc[i].Values = append(ipc[i].Values, st.IPC())
+				wsKB := float64(st.GlobalLines) * float64(cfg.LineSize) / 1024
+				ws[i].Values = append(ws[i].Values, wsKB)
+				share[i].Values = append(share[i].Values, st.InterCTASharedLineFraction())
+			}
+		}
+
+		var text strings.Builder
+		text.WriteString(report.Bars("IPC by input size class", labels, ipc, 40))
+		text.WriteByte('\n')
+		text.WriteString(report.Bars("Global working set (kB of distinct lines) by input size class", labels, ws, 40))
+		text.WriteByte('\n')
+		text.WriteString(report.Bars("Inter-CTA shared-line fraction by input size class", labels, share, 40))
+		text.WriteByte('\n')
+
+		// CPU side: sharing degree of the Rodinia OpenMP workloads per
+		// class (the Figure 9 metric, swept over input size). ProfilesAt
+		// memoizes per class, so the medium pass is shared with the
+		// Figure 6-12 experiments.
+		rod := workloads.Rodinia()
+		var cpuLabels []string
+		for _, w := range rod {
+			cpuLabels = append(cpuLabels, w.Name)
+		}
+		sharers := make([]report.Series, len(classes))
+		for i, cl := range classes {
+			sharers[i].Name = cl.String()
+			byName := map[string]*core.CPUProfile{}
+			for _, p := range ctx.ProfilesAt(cl) {
+				byName[p.Name] = p
+			}
+			for _, w := range rod {
+				sharers[i].Values = append(sharers[i].Values, byName[w.Name].MeanSharers)
+			}
+		}
+		text.WriteString(report.Bars("CPU Rodinia mean sharers per shared line by input size class", cpuLabels, sharers, 40))
+
+		notes := []string{
+			note("Per-class simulated sizes: e.g. %s runs %q / %q / %q at test/medium/large.",
+				kernels.SRAD.Abbrev, kernels.SRAD.SimSize(sizes.Test), kernels.SRAD.SimSize(sizes.Medium), kernels.SRAD.SimSize(sizes.Large)),
+			note("Working sets grow monotonically with input class for every benchmark, while IPC rises with class as occupancy improves and saturates for the structured-grid codes (HS, LC, SRAD); latency-bound MUM stays flat from medium to large."),
+			note("Sharing structure is mostly a property of the decomposition, not the input: the inter-CTA shared-line fraction and CPU mean sharers stay nearly flat across classes for the grid and graph codes, which is why the paper's single-size characterization generalizes. The exceptions are partition-based SC, whose inter-CTA fraction falls as each CTA's block grows, and heartwall's CPU sharers, which grow with the tracked point count."),
+		}
+		return &Result{
+			ID:    "scaling",
+			Title: "Input-size scaling across test/medium/large classes",
+			Text:  text.String(),
+			Notes: notes,
+		}, nil
+	},
+}

@@ -44,7 +44,7 @@ type traceCache struct {
 }
 
 type traceEntry struct {
-	bench   string
+	id      traceID
 	rt      *gpusim.RunTrace
 	lastUse uint64
 }
@@ -56,16 +56,18 @@ func newTraceCache(capBytes int64) *traceCache {
 	return &traceCache{capBytes: capBytes}
 }
 
-// lookup returns a cached trace for the benchmark compatible with cfg,
-// marking it most recently used. When every cached trace for the
-// benchmark is incompatible, it reports the first incompatibility so the
-// caller can log why it falls back to a fresh capture.
-func (tc *traceCache) lookup(bench string, cfg *gpusim.Config, strict bool) (rt *gpusim.RunTrace, fallback string) {
+// lookup returns a cached trace for the benchmark instance (benchmark at
+// one size class) compatible with cfg, marking it most recently used.
+// When every cached trace for the instance is incompatible, it reports
+// the first incompatibility so the caller can log why it falls back to a
+// fresh capture. Matching is by full traceID: a trace captured at one
+// size class is never served to another.
+func (tc *traceCache) lookup(id traceID, cfg *gpusim.Config, strict bool) (rt *gpusim.RunTrace, fallback string) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	tc.clock++
 	for _, e := range tc.entries {
-		if e.bench != bench {
+		if e.id != id {
 			continue
 		}
 		if err := e.rt.CompatibleWith(cfg, strict); err != nil {
@@ -96,7 +98,7 @@ func (tc *traceCache) noteCapture(fallback bool) {
 // entries until the byte cap holds. A trace larger than the whole cap is
 // not cached (counted as uncacheable); the capture that produced it
 // still served its caller.
-func (tc *traceCache) insert(bench string, rt *gpusim.RunTrace) (evicted []string, cached bool) {
+func (tc *traceCache) insert(id traceID, rt *gpusim.RunTrace) (evicted []string, cached bool) {
 	size := rt.Bytes()
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
@@ -105,7 +107,7 @@ func (tc *traceCache) insert(bench string, rt *gpusim.RunTrace) (evicted []strin
 		return nil, false
 	}
 	tc.clock++
-	tc.entries = append(tc.entries, &traceEntry{bench: bench, rt: rt, lastUse: tc.clock})
+	tc.entries = append(tc.entries, &traceEntry{id: id, rt: rt, lastUse: tc.clock})
 	tc.bytes += size
 	for tc.bytes > tc.capBytes {
 		lru := 0
@@ -118,7 +120,7 @@ func (tc *traceCache) insert(bench string, rt *gpusim.RunTrace) (evicted []strin
 		tc.entries = append(tc.entries[:lru], tc.entries[lru+1:]...)
 		tc.bytes -= e.rt.Bytes()
 		tc.counters.Evictions++
-		evicted = append(evicted, e.bench)
+		evicted = append(evicted, e.id.String())
 	}
 	return evicted, true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Breadth-First Search follows Rodinia's two-kernel frontier expansion:
@@ -17,6 +18,18 @@ const (
 	bfsDegree = 6
 )
 
+// bfsSizes: p = [nodes, avg degree].
+var bfsSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {4096, bfsDegree},
+		sizes.Medium: {bfsNodes, bfsDegree},
+		sizes.Large:  {131072, bfsDegree},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%d nodes, avg degree %d", p[0], p[1])
+	},
+}
+
 // BFS is the Breadth-First Search benchmark (Graph Traversal dwarf).
 var BFS = &Benchmark{
 	Name:      "Breadth-First Search",
@@ -24,8 +37,11 @@ var BFS = &Benchmark{
 	Dwarf:     "Graph Traversal",
 	Domain:    "Graph Algorithms",
 	PaperSize: "1000000 nodes",
-	SimSize:   fmt.Sprintf("%d nodes, avg degree %d", bfsNodes, bfsDegree),
-	New:       func() *Instance { return newBFS(bfsNodes, bfsDegree) },
+	Sizes:     bfsSizes,
+	New: func(c sizes.Class) *Instance {
+		p := bfsSizes.Params[c]
+		return newBFS(p[0], p[1])
+	},
 }
 
 type bfsGraph struct {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Back Propagation trains one step of a two-layer perceptron. The GPU side
@@ -22,6 +23,17 @@ const (
 	bpMomentum = 0.3
 )
 
+// bpSizes: p = [input nodes] (must be a multiple of 16; the hidden layer
+// stays at the Rodinia default of 16 units at every class).
+var bpSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {1024},
+		sizes.Medium: {bpInputs},
+		sizes.Large:  {32768},
+	},
+	Render: func(p []int) string { return fmt.Sprintf("%d input nodes", p[0]) },
+}
+
 // BackProp is the Back Propagation benchmark (Unstructured Grid dwarf).
 var BackProp = &Benchmark{
 	Name:      "Back Propagation",
@@ -29,8 +41,10 @@ var BackProp = &Benchmark{
 	Dwarf:     "Unstructured Grid",
 	Domain:    "Pattern Recognition",
 	PaperSize: "65536 input nodes",
-	SimSize:   fmt.Sprintf("%d input nodes", bpInputs),
-	New:       func() *Instance { return newBackProp(bpInputs) },
+	Sizes:     bpSizes,
+	New: func(c sizes.Class) *Instance {
+		return newBackProp(bpSizes.Params[c][0])
+	},
 }
 
 type bpLayout struct {

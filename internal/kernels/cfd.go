@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // CFD is a simplified unstructured-grid, finite-volume Euler solver in the
@@ -24,6 +25,18 @@ const (
 	cfdNNb   = 4
 )
 
+// cfdSizes: p = [mesh side, iterations]; elements = side*side.
+var cfdSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {48, cfdIters},
+		sizes.Medium: {cfdSide, cfdIters},
+		sizes.Large:  {192, cfdIters},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dk elements", p[0]*p[0]/1000)
+	},
+}
+
 // CFD is the CFD solver benchmark (Unstructured Grid dwarf).
 var CFD = &Benchmark{
 	Name:      "CFD Solver",
@@ -31,8 +44,11 @@ var CFD = &Benchmark{
 	Dwarf:     "Unstructured Grid",
 	Domain:    "Fluid Dynamics",
 	PaperSize: "97k elements",
-	SimSize:   fmt.Sprintf("%dk elements", cfdSide*cfdSide/1000),
-	New:       func() *Instance { return newCFD(cfdSide, cfdIters) },
+	Sizes:     cfdSizes,
+	New: func(c sizes.Class) *Instance {
+		p := cfdSizes.Params[c]
+		return newCFD(p[0], p[1])
+	},
 }
 
 func newCFD(side, iters int) *Instance {

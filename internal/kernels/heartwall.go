@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Heartwall tracks sample points on the inner and outer walls of a mouse
@@ -29,6 +30,20 @@ const (
 	hwPenalty = 0.05
 )
 
+// hwSizes: p = [frames, points, inner-wall points]; frame dimensions,
+// template and search-window edges are fixed (they define the kernel's
+// shared-memory layout and per-block data parallelism).
+var hwSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {2, 12, 8},
+		sizes.Medium: {hwFrames, hwPoints, hwInner},
+		sizes.Large:  {8, 64, 36},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d pixels/frame, %d frames, %d points", hwFrameW, hwFrameH, p[0], p[1])
+	},
+}
+
 // Heartwall is the Heart Wall Tracking benchmark (Structured Grid dwarf).
 var Heartwall = &Benchmark{
 	Name:      "Heart Wall Tracking",
@@ -36,8 +51,11 @@ var Heartwall = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Medical Imaging",
 	PaperSize: "609x590 pixels/frame, 104 frames",
-	SimSize:   fmt.Sprintf("%dx%d pixels/frame, %d frames, %d points", hwFrameW, hwFrameH, hwFrames, hwPoints),
-	New:       newHeartwall,
+	Sizes:     hwSizes,
+	New: func(c sizes.Class) *Instance {
+		p := hwSizes.Params[c]
+		return newHeartwall(p[0], p[1], p[2])
+	},
 }
 
 // hwFramePixel generates the synthetic ultrasound-like frame sequence:
@@ -51,22 +69,22 @@ func hwFramePixel(frame, y, x int) float32 {
 	return float32(ring + speckle)
 }
 
-func newHeartwall() *Instance {
+func newHeartwall(frames, points, inner int) *Instance {
 	mem := isa.NewMemory()
 	npix := hwFrameH * hwFrameW
 	frameTex := mem.AllocTex(npix * 4)
-	templates := mem.AllocConst(hwPoints * hwTpl * hwTpl * 4)
-	pointsG := mem.AllocGlobal(hwPoints * 2 * 4) // (y, x) int32 pairs
-	bestG := mem.AllocGlobal(hwPoints * 4)       // best score per point
+	templates := mem.AllocConst(points * hwTpl * hwTpl * 4)
+	pointsG := mem.AllocGlobal(points * 2 * 4) // (y, x) int32 pairs
+	bestG := mem.AllocGlobal(points * 4)       // best score per point
 
 	// Initial points on the ring.
 	type pt struct{ y, x int32 }
-	initPts := make([]pt, hwPoints)
+	initPts := make([]pt, points)
 	for i := range initPts {
-		th := 2 * math.Pi * float64(i%hwInner) / hwInner
+		th := 2 * math.Pi * float64(i%inner) / float64(inner)
 		radius := 30.0
-		if i >= hwInner {
-			th = 2 * math.Pi * float64(i-hwInner) / (hwPoints - hwInner)
+		if i >= inner {
+			th = 2 * math.Pi * float64(i-inner) / float64(points-inner)
 			radius = 36
 		}
 		initPts[i] = pt{
@@ -82,7 +100,7 @@ func newHeartwall() *Instance {
 			frame0[y*hwFrameW+x] = hwFramePixel(0, y, x)
 		}
 	}
-	tpl := make([]float32, hwPoints*hwTpl*hwTpl)
+	tpl := make([]float32, points*hwTpl*hwTpl)
 	for i, p := range initPts {
 		for ty := 0; ty < hwTpl; ty++ {
 			for tx := 0; tx < hwTpl; tx++ {
@@ -112,8 +130,8 @@ func newHeartwall() *Instance {
 	mem.SetParamI(2, int64(pointsG))
 	mem.SetParamI(3, int64(bestG))
 
-	k := hwKernel()
-	launch := isa.Launch{Grid: hwPoints, Block: 256}
+	k := hwKernel(inner)
+	launch := isa.Launch{Grid: points, Block: 256}
 
 	loadFrame := func(f int) {
 		for y := 0; y < hwFrameH; y++ {
@@ -125,7 +143,7 @@ func newHeartwall() *Instance {
 
 	run := func(ex isa.Executor, mem *isa.Memory) error {
 		writePoints(initPts)
-		for f := 1; f <= hwFrames; f++ {
+		for f := 1; f <= frames; f++ {
 			loadFrame(f)
 			if err := ex.Launch(k, launch, mem); err != nil {
 				return err
@@ -137,7 +155,7 @@ func newHeartwall() *Instance {
 	check := func(mem *isa.Memory) error {
 		// Replicate the whole tracking sequence on the CPU.
 		pts := append([]pt(nil), initPts...)
-		for f := 1; f <= hwFrames; f++ {
+		for f := 1; f <= frames; f++ {
 			frame := make([]float32, npix)
 			for y := 0; y < hwFrameH; y++ {
 				for x := 0; x < hwFrameW; x++ {
@@ -163,7 +181,7 @@ func newHeartwall() *Instance {
 							ssd += d * d
 						}
 					}
-					if i >= hwInner {
+					if i >= inner {
 						// Outer-wall points penalize drift.
 						ssd += hwPenalty * float64(oy*oy+ox*ox)
 					}
@@ -191,8 +209,9 @@ func newHeartwall() *Instance {
 
 // hwKernel: block = one tracking point; threads 0..168 each score one
 // search offset (partially filling the last warp), then a shared-memory
-// argmin picks the displacement and lane 0 updates the point.
-func hwKernel() *isa.Kernel {
+// argmin picks the displacement and lane 0 updates the point. Blocks at
+// or past inner are outer-wall points and take the drift-penalty path.
+func hwKernel(inner int) *isa.Kernel {
 	const (
 		shScore = 0
 		shIdx   = hwOffs * 4 // scores then indices
@@ -269,7 +288,7 @@ func hwKernel() *isa.Kernel {
 		})
 		// Outer-wall points (block-uniform branch) add a drift penalty.
 		outer := b.P()
-		b.SetpII(outer, isa.CmpGE, cta, hwInner)
+		b.SetpII(outer, isa.CmpGE, cta, int64(inner))
 		b.If(outer, func() {
 			o2 := b.I()
 			pen := b.F()

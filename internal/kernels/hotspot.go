@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // HotSpot is the thermal simulation stencil. Each 16x16 thread block loads
@@ -28,6 +29,18 @@ const (
 	hsAmbient = 80.0
 )
 
+// hsSizes: p = [n, iterations].
+var hsSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {128, hsIters},
+		sizes.Medium: {hsN, hsIters},
+		sizes.Large:  {768, hsIters},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d data points, %d iterations", p[0], p[0], p[1])
+	},
+}
+
 // HotSpot is the HotSpot benchmark (Structured Grid dwarf).
 var HotSpot = &Benchmark{
 	Name:      "HotSpot",
@@ -35,8 +48,11 @@ var HotSpot = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Physics Simulation",
 	PaperSize: "500x500 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", hsN, hsN, hsIters),
-	New:       func() *Instance { return newHotSpot(hsN, hsIters) },
+	Sizes:     hsSizes,
+	New: func(c sizes.Class) *Instance {
+		p := hsSizes.Params[c]
+		return newHotSpot(p[0], p[1])
+	},
 }
 
 func newHotSpot(n, iters int) *Instance {

@@ -14,12 +14,14 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Instance is one configured run of a benchmark: device memory already
 // populated with inputs, a host driver, and a validation oracle.
 type Instance struct {
 	Bench *Benchmark
+	Size  sizes.Class
 	Mem   *isa.Memory
 
 	run   func(ex isa.Executor, mem *isa.Memory) error
@@ -42,6 +44,20 @@ func (in *Instance) Check() error {
 	return nil
 }
 
+// SizeTable maps each size class to a benchmark's input parameters and
+// renders the human-readable size string from them, so SimSize strings
+// are derived from the table rather than hand-maintained.
+type SizeTable struct {
+	// Params holds one parameter vector per sizes.Class; its meaning is
+	// benchmark-specific (documented next to each table).
+	Params [sizes.NumClasses][]int
+	// Render formats a parameter vector as the "Simulated size" string.
+	Render func(p []int) string
+}
+
+// SimSize renders the size string for one class.
+func (t *SizeTable) SimSize(c sizes.Class) string { return t.Render(t.Params[c]) }
+
 // Benchmark describes one Rodinia application (Table I).
 type Benchmark struct {
 	Name      string
@@ -49,16 +65,29 @@ type Benchmark struct {
 	Dwarf     string
 	Domain    string
 	PaperSize string // problem size from Table I
-	SimSize   string // size used here (scaled for simulation tractability)
 
-	New func() *Instance
+	// Sizes is the benchmark's per-class input table; sizes.Medium holds
+	// the historical simulation-scaled input.
+	Sizes SizeTable
+
+	New func(c sizes.Class) *Instance
 }
 
-// Instance builds a fresh instance of the benchmark with its back-pointer
-// set. Prefer this over calling New directly.
-func (b *Benchmark) Instance() *Instance {
-	in := b.New()
+// SimSize is the simulated problem size at class c, derived from the
+// size table.
+func (b *Benchmark) SimSize(c sizes.Class) string { return b.Sizes.SimSize(c) }
+
+// Instance builds a fresh instance of the benchmark at the default size
+// class (the historical medium input). Prefer this over calling New
+// directly.
+func (b *Benchmark) Instance() *Instance { return b.InstanceAt(sizes.Default) }
+
+// InstanceAt builds a fresh instance at the given size class with its
+// back-pointer and size recorded.
+func (b *Benchmark) InstanceAt(c sizes.Class) *Instance {
+	in := b.New(c)
 	in.Bench = b
+	in.Size = c
 	return in
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // TestAllBenchmarksFunctional runs every benchmark on the functional
@@ -58,8 +59,22 @@ func TestRegistry(t *testing.T) {
 		if b.Abbrev != order[i] {
 			t.Errorf("All()[%d] = %s, want %s", i, b.Abbrev, order[i])
 		}
-		if b.Name == "" || b.Dwarf == "" || b.Domain == "" || b.PaperSize == "" || b.SimSize == "" {
+		if b.Name == "" || b.Dwarf == "" || b.Domain == "" || b.PaperSize == "" {
 			t.Errorf("%s: incomplete metadata %+v", b.Abbrev, b)
+		}
+		if b.New == nil {
+			t.Errorf("%s: no constructor", b.Abbrev)
+		}
+		if b.Sizes.Render == nil {
+			t.Errorf("%s: size table has no renderer", b.Abbrev)
+		}
+		for _, c := range sizes.Classes() {
+			if len(b.Sizes.Params[c]) == 0 {
+				t.Errorf("%s: size table has no params for class %s", b.Abbrev, c)
+			}
+			if b.SimSize(c) == "" {
+				t.Errorf("%s: empty SimSize at class %s", b.Abbrev, c)
+			}
 		}
 		if got, ok := ByAbbrev(b.Abbrev); !ok || got != b {
 			t.Errorf("ByAbbrev(%s) failed", b.Abbrev)
@@ -258,10 +273,91 @@ func TestKernelNamesUnique(t *testing.T) {
 }
 
 func TestSimSizeMentionsScaling(t *testing.T) {
-	// Every benchmark documents its simulated size.
+	// Every benchmark documents its simulated size at every class, the
+	// string derives from the size table, and classes are distinguishable.
 	for _, b := range All() {
-		if !strings.ContainsAny(b.SimSize, "0123456789") {
-			t.Errorf("%s: SimSize %q has no numbers", b.Abbrev, b.SimSize)
+		for _, c := range sizes.Classes() {
+			s := b.SimSize(c)
+			if !strings.ContainsAny(s, "0123456789") {
+				t.Errorf("%s: SimSize(%s) %q has no numbers", b.Abbrev, c, s)
+			}
+			if want := b.Sizes.Render(b.Sizes.Params[c]); s != want {
+				t.Errorf("%s: SimSize(%s) = %q, want table-derived %q", b.Abbrev, c, s, want)
+			}
+		}
+		if b.SimSize(sizes.Test) == b.SimSize(sizes.Large) {
+			t.Errorf("%s: test and large classes render identically (%q)", b.Abbrev, b.SimSize(sizes.Test))
+		}
+	}
+}
+
+// TestAllBenchmarksFunctionalTestSize runs every benchmark (and the v1
+// variants) at the small "test" class and validates the oracle still
+// holds — the size axis must not break any Check.
+func TestAllBenchmarksFunctionalTestSize(t *testing.T) {
+	bs := append(All(), SRADv1, LeukocyteV1, NWv1, LUDv1)
+	for _, b := range bs {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			in := b.InstanceAt(sizes.Test)
+			if in.Size != sizes.Test {
+				t.Fatalf("instance size = %v, want test", in.Size)
+			}
+			var ex isa.Functional
+			if err := in.Run(&ex); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := in.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksFunctionalLargeSize validates the oracle at the large
+// class too. Skipped under -short: large instances are expensive.
+func TestAllBenchmarksFunctionalLargeSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large size class skipped in -short mode")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			in := b.InstanceAt(sizes.Large)
+			var ex isa.Functional
+			if err := in.Run(&ex); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := in.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+// TestDefaultInstanceIsMedium pins the byte-identity guarantee: the
+// default instance must be the medium class, so results regenerated
+// with no -size flag cannot drift.
+func TestDefaultInstanceIsMedium(t *testing.T) {
+	if sizes.Default != sizes.Medium {
+		t.Fatalf("sizes.Default = %v, want medium", sizes.Default)
+	}
+	in := HotSpot.Instance()
+	if in.Size != sizes.Medium {
+		t.Fatalf("Instance() size = %v, want medium", in.Size)
+	}
+}
+
+// TestSizeClassesScaleWork asserts the classes are genuinely ordered:
+// the first size parameter grows strictly from test to large.
+func TestSizeClassesScaleWork(t *testing.T) {
+	for _, b := range All() {
+		p := b.Sizes.Params
+		if !(p[sizes.Test][0] < p[sizes.Medium][0] && p[sizes.Medium][0] < p[sizes.Large][0]) {
+			t.Errorf("%s: primary size param not strictly increasing: %d, %d, %d",
+				b.Abbrev, p[sizes.Test][0], p[sizes.Medium][0], p[sizes.Large][0])
 		}
 	}
 }

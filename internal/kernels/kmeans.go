@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Kmeans assigns each point to its nearest cluster center on the GPU and
@@ -20,6 +21,19 @@ const (
 	kmIters    = 2
 )
 
+// kmSizes: p = [points, features, clusters, iterations]; only the point
+// count scales across classes, as in the paper's input sweep.
+var kmSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {1024, kmFeatures, kmClusters, kmIters},
+		sizes.Medium: {kmPoints, kmFeatures, kmClusters, kmIters},
+		sizes.Large:  {24576, kmFeatures, kmClusters, kmIters},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%d data points, %d features", p[0], p[1])
+	},
+}
+
 // Kmeans is the K-means clustering benchmark (Dense Linear Algebra dwarf).
 var Kmeans = &Benchmark{
 	Name:      "Kmeans",
@@ -27,8 +41,11 @@ var Kmeans = &Benchmark{
 	Dwarf:     "Dense Linear Algebra",
 	Domain:    "Data Mining",
 	PaperSize: "204800 data points, 34 features",
-	SimSize:   fmt.Sprintf("%d data points, %d features", kmPoints, kmFeatures),
-	New:       func() *Instance { return newKmeans(kmPoints, kmFeatures, kmClusters, kmIters) },
+	Sizes:     kmSizes,
+	New: func(c sizes.Class) *Instance {
+		p := kmSizes.Params[c]
+		return newKmeans(p[0], p[1], p[2], p[3])
+	},
 }
 
 func newKmeans(n, nf, nc, iters int) *Instance {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Leukocyte tracking detects cells with a GICOV score (directional
@@ -26,6 +27,20 @@ const (
 	lcDisk    = 2 // dilation disk radius
 )
 
+// lcSizes: p = [frame height, frame width]; the cell radius and sample
+// count are fixed, so frames must leave at least a 10-pixel margin for
+// synthetic cell placement (h, w >= 30).
+var lcSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {48, 120},
+		sizes.Medium: {lcH, lcW},
+		sizes.Large:  {144, 360},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d pixels/frame", p[0], p[1])
+	},
+}
+
 // Leukocyte is the optimized (v2) Leukocyte benchmark (Structured Grid).
 var Leukocyte = &Benchmark{
 	Name:      "Leukocyte Tracking",
@@ -33,8 +48,11 @@ var Leukocyte = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Medical Imaging",
 	PaperSize: "219x640 pixels/frame",
-	SimSize:   fmt.Sprintf("%dx%d pixels/frame", lcH, lcW),
-	New:       func() *Instance { return newLeukocyte(true) },
+	Sizes:     lcSizes,
+	New: func(c sizes.Class) *Instance {
+		p := lcSizes.Params[c]
+		return newLeukocyte(true, p[0], p[1])
+	},
 }
 
 // LeukocyteV1 is the unoptimized incremental version (Table III).
@@ -44,13 +62,16 @@ var LeukocyteV1 = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Medical Imaging",
 	PaperSize: "219x640 pixels/frame",
-	SimSize:   fmt.Sprintf("%dx%d pixels/frame", lcH, lcW),
-	New:       func() *Instance { return newLeukocyte(false) },
+	Sizes:     lcSizes,
+	New: func(c sizes.Class) *Instance {
+		p := lcSizes.Params[c]
+		return newLeukocyte(false, p[0], p[1])
+	},
 }
 
-func newLeukocyte(v2 bool) *Instance {
+func newLeukocyte(v2 bool, h, w int) *Instance {
 	mem := isa.NewMemory()
-	npix := lcH * lcW
+	npix := h * w
 	gradX := mem.AllocTex(npix * 4)
 	gradY := mem.AllocTex(npix * 4)
 	gicovTex := mem.AllocTex(npix * 4) // v2 re-binds GICOV here for dilation
@@ -71,14 +92,14 @@ func newLeukocyte(v2 bool) *Instance {
 	// A few synthetic "cells": circular gradient fields that produce high
 	// GICOV responses.
 	for c := 0; c < 6; c++ {
-		cy, cx := 10+r.intn(lcH-20), 10+r.intn(lcW-20)
+		cy, cx := 10+r.intn(h-20), 10+r.intn(w-20)
 		for dy := -lcRadius - 2; dy <= lcRadius+2; dy++ {
 			for dx := -lcRadius - 2; dx <= lcRadius+2; dx++ {
 				d := math.Hypot(float64(dx), float64(dy))
 				if d < 1 || d > float64(lcRadius)+2 {
 					continue
 				}
-				i := (cy+dy)*lcW + cx + dx
+				i := (cy+dy)*w + cx + dx
 				gx[i] = float32(float64(dx) / d * 2)
 				gy[i] = float32(float64(dy) / d * 2)
 			}
@@ -113,8 +134,8 @@ func newLeukocyte(v2 bool) *Instance {
 	mem.SetParamI(7, int64(offY))
 	mem.SetParamI(8, int64(gicovTex))
 
-	kg := lcGICOVKernel()
-	kd := lcDilateKernel(v2)
+	kg := lcGICOVKernel(h, w)
+	kd := lcDilateKernel(v2, h, w)
 	launch := isa.Launch{Grid: ceilDiv(npix, 256), Block: 256}
 
 	run := func(ex isa.Executor, mem *isa.Memory) error {
@@ -138,16 +159,16 @@ func newLeukocyte(v2 bool) *Instance {
 	check := func(mem *isa.Memory) error {
 		// Reference GICOV.
 		want := make([]float64, npix)
-		for y := 0; y < lcH; y++ {
-			for x := 0; x < lcW; x++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
 				var sum, sum2 float64
 				for s := 0; s < lcSamples; s++ {
 					sx := x + int(offs[s][0])
 					sy := y + int(offs[s][1])
-					if sx < 0 || sx >= lcW || sy < 0 || sy >= lcH {
+					if sx < 0 || sx >= w || sy < 0 || sy >= h {
 						continue
 					}
-					g := float64(gx[sy*lcW+sx])*float64(coss[s]) + float64(gy[sy*lcW+sx])*float64(sins[s])
+					g := float64(gx[sy*w+sx])*float64(coss[s]) + float64(gy[sy*w+sx])*float64(sins[s])
 					sum += g
 					sum2 += g * g
 				}
@@ -156,7 +177,7 @@ func newLeukocyte(v2 bool) *Instance {
 				if variance < 1e-6 {
 					variance = 1e-6
 				}
-				want[y*lcW+x] = mean * mean / variance
+				want[y*w+x] = mean * mean / variance
 			}
 		}
 		for _, i := range sampleIndices(npix, 300) {
@@ -167,15 +188,15 @@ func newLeukocyte(v2 bool) *Instance {
 		}
 		// Reference dilation over the float32-rounded GICOV.
 		for _, i := range sampleIndices(npix, 300) {
-			y, x := i/lcW, i%lcW
+			y, x := i/w, i%w
 			best := 0.0
 			for dy := -lcDisk; dy <= lcDisk; dy++ {
 				for dx := -lcDisk; dx <= lcDisk; dx++ {
 					yy, xx := y+dy, x+dx
-					if yy < 0 || yy >= lcH || xx < 0 || xx >= lcW {
+					if yy < 0 || yy >= h || xx < 0 || xx >= w {
 						continue
 					}
-					v := float64(float32(want[yy*lcW+xx]))
+					v := float64(float32(want[yy*w+xx]))
 					if v > best {
 						best = v
 					}
@@ -194,7 +215,7 @@ func newLeukocyte(v2 bool) *Instance {
 
 // lcGICOVKernel computes the GICOV score per pixel: directional gradient
 // statistics over constant-memory circle samples, gradients from texture.
-func lcGICOVKernel() *isa.Kernel {
+func lcGICOVKernel(h, w int) *isa.Kernel {
 	b := isa.NewBuilder()
 	gid := globalThreadID(b)
 	pgx, pgy, pgicov, psin, pcos, pox, poy := b.I(), b.I(), b.I(), b.I(), b.I(), b.I(), b.I()
@@ -207,11 +228,11 @@ func lcGICOVKernel() *isa.Kernel {
 	b.LdParamI(poy, 7)
 
 	inR := b.P()
-	b.SetpII(inR, isa.CmpLT, gid, int64(lcH*lcW))
+	b.SetpII(inR, isa.CmpLT, gid, int64(h*w))
 	b.If(inR, func() {
 		x, y := b.I(), b.I()
-		b.IRemI(x, gid, lcW)
-		b.IDivI(y, gid, lcW)
+		b.IRemI(x, gid, int64(w))
+		b.IDivI(y, gid, int64(w))
 		sum, sum2 := b.F(), b.F()
 		b.MovF(sum, 0)
 		b.MovF(sum2, 0)
@@ -230,15 +251,15 @@ func lcGICOVKernel() *isa.Kernel {
 			b.IAdd(sy, y, oy)
 			pIn, pt := b.P(), b.P()
 			b.SetpII(pIn, isa.CmpGE, sx, 0)
-			b.SetpII(pt, isa.CmpLT, sx, lcW)
+			b.SetpII(pt, isa.CmpLT, sx, int64(w))
 			b.PAnd(pIn, pIn, pt)
 			b.SetpII(pt, isa.CmpGE, sy, 0)
 			b.PAnd(pIn, pIn, pt)
-			b.SetpII(pt, isa.CmpLT, sy, lcH)
+			b.SetpII(pt, isa.CmpLT, sy, int64(h))
 			b.PAnd(pIn, pIn, pt)
 			b.If(pIn, func() {
 				idx := b.I()
-				b.IMulI(idx, sy, lcW)
+				b.IMulI(idx, sy, int64(w))
 				b.IAdd(idx, idx, sx)
 				b.ShlI(idx, idx, 2)
 				ga := b.I()
@@ -278,7 +299,7 @@ func lcGICOVKernel() *isa.Kernel {
 // lcDilateKernel max-filters the GICOV matrix over a disk. v1 reads GICOV
 // from global memory with one thread per pixel; v2 reads the texture-bound
 // copy with persistent thread blocks striding over the image.
-func lcDilateKernel(v2 bool) *isa.Kernel {
+func lcDilateKernel(v2 bool, h, w int) *isa.Kernel {
 	b := isa.NewBuilder()
 	gid := globalThreadID(b)
 	pgicov, pdil, ptex := b.I(), b.I(), b.I()
@@ -288,8 +309,8 @@ func lcDilateKernel(v2 bool) *isa.Kernel {
 
 	body := func(pix isa.IReg) {
 		x, y := b.I(), b.I()
-		b.IRemI(x, pix, lcW)
-		b.IDivI(y, pix, lcW)
+		b.IRemI(x, pix, int64(w))
+		b.IDivI(y, pix, int64(w))
 		best := b.F()
 		b.MovF(best, 0)
 		v := b.F()
@@ -301,14 +322,14 @@ func lcDilateKernel(v2 bool) *isa.Kernel {
 				b.IAddI(yy, y, int64(dy))
 				pIn, pt := b.P(), b.P()
 				b.SetpII(pIn, isa.CmpGE, xx, 0)
-				b.SetpII(pt, isa.CmpLT, xx, lcW)
+				b.SetpII(pt, isa.CmpLT, xx, int64(w))
 				b.PAnd(pIn, pIn, pt)
 				b.SetpII(pt, isa.CmpGE, yy, 0)
 				b.PAnd(pIn, pIn, pt)
-				b.SetpII(pt, isa.CmpLT, yy, lcH)
+				b.SetpII(pt, isa.CmpLT, yy, int64(h))
 				b.PAnd(pIn, pIn, pt)
 				b.If(pIn, func() {
-					b.IMulI(a, yy, lcW)
+					b.IMulI(a, yy, int64(w))
 					b.IAdd(a, a, xx)
 					b.ShlI(a, a, 2)
 					if v2 {
@@ -347,7 +368,7 @@ func lcDilateKernel(v2 bool) *isa.Kernel {
 		})
 	} else {
 		inR := b.P()
-		b.SetpII(inR, isa.CmpLT, gid, int64(lcH*lcW))
+		b.SetpII(inR, isa.CmpLT, gid, int64(h*w))
 		b.If(inR, func() { body(gid) }, nil)
 	}
 	return b.Build(fmt.Sprintf("lc_dilate_v%d", map[bool]int{false: 1, true: 2}[v2]))

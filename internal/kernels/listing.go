@@ -19,15 +19,15 @@ func KernelsOf(abbrev string) ([]*isa.Kernel, error) {
 	case "CFD":
 		return []*isa.Kernel{cfdStepFactorKernel(), cfdFluxKernel(), cfdTimeStepKernel()}, nil
 	case "HW":
-		return []*isa.Kernel{hwKernel()}, nil
+		return []*isa.Kernel{hwKernel(hwInner)}, nil
 	case "HS":
 		return []*isa.Kernel{hotspotKernel()}, nil
 	case "KM":
 		return []*isa.Kernel{kmeansKernel(kmFeatures, kmClusters)}, nil
 	case "LC":
-		return []*isa.Kernel{lcGICOVKernel(), lcDilateKernel(true)}, nil
+		return []*isa.Kernel{lcGICOVKernel(lcH, lcW), lcDilateKernel(true, lcH, lcW)}, nil
 	case "LCv1":
-		return []*isa.Kernel{lcGICOVKernel(), lcDilateKernel(false)}, nil
+		return []*isa.Kernel{lcGICOVKernel(lcH, lcW), lcDilateKernel(false, lcH, lcW)}, nil
 	case "LUD":
 		return []*isa.Kernel{ludDiagonalKernel(), ludPerimeterKernel(), ludInternalKernel()}, nil
 	case "LUDv1":

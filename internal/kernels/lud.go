@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // LU Decomposition follows Rodinia's blocked in-place Doolittle scheme:
@@ -19,6 +20,29 @@ const (
 	ludBlock = 16
 )
 
+// ludSizes: p = [n]; n must be a multiple of ludBlock.
+var ludSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {64},
+		sizes.Medium: {ludN},
+		sizes.Large:  {384},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d data points", p[0], p[0])
+	},
+}
+
+// ludV1Sizes runs the unblocked version at half the blocked version's
+// matrix order per class, keeping its many-small-launch pattern cheap.
+var ludV1Sizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {ludSizes.Params[sizes.Test][0] / 2},
+		sizes.Medium: {ludN / 2},
+		sizes.Large:  {ludSizes.Params[sizes.Large][0] / 2},
+	},
+	Render: ludSizes.Render,
+}
+
 // LUD is the LU Decomposition benchmark (Dense Linear Algebra dwarf).
 var LUD = &Benchmark{
 	Name:      "LU Decomposition",
@@ -26,8 +50,10 @@ var LUD = &Benchmark{
 	Dwarf:     "Dense Linear Algebra",
 	Domain:    "Linear Algebra",
 	PaperSize: "256x256 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points", ludN, ludN),
-	New:       func() *Instance { return newLUD(ludN, true) },
+	Sizes:     ludSizes,
+	New: func(c sizes.Class) *Instance {
+		return newLUD(ludSizes.Params[c][0], true)
+	},
 }
 
 // LUDv1 is the unoptimized incremental version (announced alongside Table
@@ -39,8 +65,10 @@ var LUDv1 = &Benchmark{
 	Dwarf:     "Dense Linear Algebra",
 	Domain:    "Linear Algebra",
 	PaperSize: "256x256 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points", ludN/2, ludN/2),
-	New:       func() *Instance { return newLUD(ludN/2, false) },
+	Sizes:     ludV1Sizes,
+	New: func(c sizes.Class) *Instance {
+		return newLUD(ludV1Sizes.Params[c][0], false)
+	},
 }
 
 func newLUD(n int, blocked bool) *Instance {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // MUMmer aligns short queries against a reference sequence by walking a
@@ -20,6 +21,18 @@ const (
 	mumQLen    = 25    // 25-character queries, as in Table I
 )
 
+// mumSizes: p = [reference length, queries, query length].
+var mumSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {4096, 1024, mumQLen},
+		sizes.Medium: {mumRefLen, mumQueries, mumQLen},
+		sizes.Large:  {32768, 16384, mumQLen},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%d %d-character queries, %d-base reference", p[1], p[2], p[0])
+	},
+}
+
 // MUMmer is the MUMmerGPU benchmark (Graph Traversal dwarf).
 var MUMmer = &Benchmark{
 	Name:      "MUMmerGPU",
@@ -27,8 +40,11 @@ var MUMmer = &Benchmark{
 	Dwarf:     "Graph Traversal",
 	Domain:    "Bioinformatics",
 	PaperSize: "50000 25-character queries",
-	SimSize:   fmt.Sprintf("%d %d-character queries, %d-base reference", mumQueries, mumQLen, mumRefLen),
-	New:       func() *Instance { return newMUMmer(mumRefLen, mumQueries, mumQLen) },
+	Sizes:     mumSizes,
+	New: func(c sizes.Class) *Instance {
+		p := mumSizes.Params[c]
+		return newMUMmer(p[0], p[1], p[2])
+	},
 }
 
 func newMUMmer(refLen, nq, qlen int) *Instance {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // Needleman-Wunsch fills the dynamic-programming alignment matrix in 16x16
@@ -19,6 +20,18 @@ const (
 	nwPenalty = 10
 )
 
+// nwSizes: p = [n]; n must be a multiple of nwBlock.
+var nwSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {128},
+		sizes.Medium: {nwN},
+		sizes.Large:  {1536},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d data points", p[0], p[0])
+	},
+}
+
 // NW is the Needleman-Wunsch benchmark (Dynamic Programming dwarf).
 var NW = &Benchmark{
 	Name:      "Needleman-Wunsch",
@@ -26,8 +39,10 @@ var NW = &Benchmark{
 	Dwarf:     "Dynamic Programming",
 	Domain:    "Bioinformatics",
 	PaperSize: "2048x2048 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points", nwN, nwN),
-	New:       func() *Instance { return newNW(nwN, true) },
+	Sizes:     nwSizes,
+	New: func(c sizes.Class) *Instance {
+		return newNW(nwSizes.Params[c][0], true)
+	},
 }
 
 // NWv1 is the unoptimized incremental version (announced alongside Table
@@ -39,8 +54,10 @@ var NWv1 = &Benchmark{
 	Dwarf:     "Dynamic Programming",
 	Domain:    "Bioinformatics",
 	PaperSize: "2048x2048 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points", nwN, nwN),
-	New:       func() *Instance { return newNW(nwN, false) },
+	Sizes:     nwSizes,
+	New: func(c sizes.Class) *Instance {
+		return newNW(nwSizes.Params[c][0], false)
+	},
 }
 
 func newNW(n int, shared bool) *Instance {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // SRAD (Speckle Reducing Anisotropic Diffusion) despeckles an ultrasound
@@ -23,6 +24,18 @@ const (
 	sradBlock  = 16
 )
 
+// sradSizes: p = [n, iterations]; n must be a multiple of sradBlock.
+var sradSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {64, sradIters},
+		sizes.Medium: {sradN, sradIters},
+		sizes.Large:  {384, sradIters},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%dx%d data points, %d iterations", p[0], p[0], p[1])
+	},
+}
+
 // SRAD is the default (optimized, v2) SRAD benchmark (Structured Grid).
 var SRAD = &Benchmark{
 	Name:      "SRAD",
@@ -30,8 +43,11 @@ var SRAD = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Image Processing",
 	PaperSize: "512x512 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", sradN, sradN, sradIters),
-	New:       func() *Instance { return newSRAD(sradN, sradIters, true) },
+	Sizes:     sradSizes,
+	New: func(c sizes.Class) *Instance {
+		p := sradSizes.Params[c]
+		return newSRAD(p[0], p[1], true)
+	},
 }
 
 // SRADv1 is the unoptimized incremental version of SRAD (Table III).
@@ -41,8 +57,11 @@ var SRADv1 = &Benchmark{
 	Dwarf:     "Structured Grid",
 	Domain:    "Image Processing",
 	PaperSize: "512x512 data points",
-	SimSize:   fmt.Sprintf("%dx%d data points, %d iterations", sradN, sradN, sradIters),
-	New:       func() *Instance { return newSRAD(sradN, sradIters, false) },
+	Sizes:     sradSizes,
+	New: func(c sizes.Class) *Instance {
+		p := sradSizes.Params[c]
+		return newSRAD(p[0], p[1], false)
+	},
 }
 
 func newSRAD(n, iters int, shared bool) *Instance {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/isa"
+	"repro/internal/sizes"
 )
 
 // StreamCluster evaluates opening candidate centers for the online
@@ -21,6 +22,20 @@ const (
 	scBlock      = 256
 )
 
+// scSizes: p = [points, dimensions, candidates]; the dimension count is
+// fixed (it sets the shared-memory staging layout) and only the point
+// count scales.
+var scSizes = SizeTable{
+	Params: [sizes.NumClasses][]int{
+		sizes.Test:   {1024, scDim, scCandidates},
+		sizes.Medium: {scPoints, scDim, scCandidates},
+		sizes.Large:  {12288, scDim, scCandidates},
+	},
+	Render: func(p []int) string {
+		return fmt.Sprintf("%d points, %d dimensions", p[0], p[1])
+	},
+}
+
 // StreamCluster is the StreamCluster benchmark (Dense Linear Algebra dwarf).
 var StreamCluster = &Benchmark{
 	Name:      "Stream Cluster",
@@ -28,8 +43,11 @@ var StreamCluster = &Benchmark{
 	Dwarf:     "Dense Linear Algebra",
 	Domain:    "Data Mining",
 	PaperSize: "65536 points, 256 dimensions",
-	SimSize:   fmt.Sprintf("%d points, %d dimensions", scPoints, scDim),
-	New:       func() *Instance { return newStreamCluster(scPoints, scDim, scCandidates) },
+	Sizes:     scSizes,
+	New: func(c sizes.Class) *Instance {
+		p := scSizes.Params[c]
+		return newStreamCluster(p[0], p[1], p[2])
+	},
 }
 
 func newStreamCluster(n, dim, ncand int) *Instance {
@@ -175,9 +193,9 @@ func scDistance(b *isa.Builder, dim int, gid, pcoord, pn isa.IReg) isa.FReg {
 
 // scGainKernel computes per-block savings of opening the candidate.
 func scGainKernel(dim int) *isa.Kernel {
-	const shSav = scDim * 4 // savings array follows the candidate coords
+	shSav := int64(dim * 4) // savings array follows the candidate coords
 	b := isa.NewBuilder()
-	b.SetShared(scDim*4 + scBlock*4)
+	b.SetShared(dim*4 + scBlock*4)
 
 	tid, cta := b.I(), b.I()
 	b.Rd(tid, isa.SpecTid)
@@ -250,7 +268,7 @@ func scGainKernel(dim int) *isa.Kernel {
 // candidate.
 func scUpdateKernel(dim int) *isa.Kernel {
 	b := isa.NewBuilder()
-	b.SetShared(scDim * 4)
+	b.SetShared(dim * 4)
 	tid, cta := b.I(), b.I()
 	b.Rd(tid, isa.SpecTid)
 	b.Rd(cta, isa.SpecCta)

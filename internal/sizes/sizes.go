@@ -1,0 +1,76 @@
+// Package sizes defines the problem-size axis of the suite: every
+// benchmark and workload resolves its input dimensions from a per-program
+// size table indexed by Class. The paper characterizes each program at a
+// single input (Table I / Table V); the test/medium/large classes make
+// that a swept axis, with Medium pinned to the paper-scaled inputs the
+// repository has always used so default results stay byte-identical.
+package sizes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class selects one entry of a program's size table.
+type Class int
+
+const (
+	// Test is a minimal input for fast functional validation (CI smoke,
+	// go test -short).
+	Test Class = iota
+	// Medium is the historical simulation-scaled input; the default.
+	Medium
+	// Large scales the working set up by roughly 2-4x over Medium.
+	Large
+
+	// NumClasses is the size-table length.
+	NumClasses = int(Large) + 1
+)
+
+// Default is the class every entry point uses unless told otherwise. It
+// is Medium, preserving the sizes (and therefore the results/*.txt
+// bytes) the repository produced before the size axis existed.
+const Default = Medium
+
+// Classes returns every class in ascending order.
+func Classes() []Class { return []Class{Test, Medium, Large} }
+
+// String returns the class's flag-friendly name.
+func (c Class) String() string {
+	switch c {
+	case Test:
+		return "test"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Valid reports whether c indexes a size table.
+func (c Class) Valid() bool { return c >= 0 && int(c) < NumClasses }
+
+// Parse maps a flag value ("test", "medium", "large") to its Class.
+func Parse(s string) (Class, error) {
+	for _, c := range Classes() {
+		if s == c.String() {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("sizes: unknown class %q (want test, medium, or large)", s)
+}
+
+// ParseList maps a comma-separated flag value ("test,large") to
+// classes, in order.
+func ParseList(list string) ([]Class, error) {
+	var out []Class
+	for _, s := range strings.Split(list, ",") {
+		c, err := Parse(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package sizes
+
+import "testing"
+
+func TestClassesRoundTrip(t *testing.T) {
+	cls := Classes()
+	if len(cls) != NumClasses {
+		t.Fatalf("Classes() has %d entries, want NumClasses=%d", len(cls), NumClasses)
+	}
+	for _, c := range cls {
+		if !c.Valid() {
+			t.Errorf("class %d invalid", int(c))
+		}
+		got, err := Parse(c.String())
+		if err != nil || got != c {
+			t.Errorf("Parse(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if !Default.Valid() || Default != Medium {
+		t.Fatalf("Default = %v, want Medium", Default)
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := Parse("huge"); err == nil {
+		t.Fatal("Parse accepted an unknown class")
+	}
+	if Class(99).Valid() {
+		t.Fatal("Class(99) claims to be valid")
+	}
+	if s := Class(99).String(); s != "Class(99)" {
+		t.Fatalf("Class(99).String() = %q", s)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got, err := ParseList("test, large")
+	if err != nil || len(got) != 2 || got[0] != Test || got[1] != Large {
+		t.Fatalf("ParseList = %v, %v; want [Test Large]", got, err)
+	}
+	if _, err := ParseList("test,huge"); err == nil {
+		t.Fatal("ParseList accepted an unknown class")
+	}
+}

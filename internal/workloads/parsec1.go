@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"repro/internal/sizes"
 	"repro/internal/trace"
 )
 
@@ -15,11 +16,16 @@ var wlBlackscholes = &Workload{
 	Name:   "blackscholes",
 	Suite:  "P",
 	Domain: "Financial Analysis",
-	Run:    runBlackscholes,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {8192},
+		sizes.Medium: {65536}, // Table V: 65,536 options
+		sizes.Large:  {131072},
+	},
+	Run: runBlackscholes,
 }
 
-func runBlackscholes(h *trace.Harness) {
-	const n = 65536 // Table V: 65,536 options
+func runBlackscholes(h *trace.Harness, p []int) {
+	n := p[0]
 	spot := h.Alloc(n * 4)
 	strike := h.Alloc(n * 4)
 	rate := h.Alloc(n * 4)
@@ -53,16 +59,20 @@ var wlBodytrack = &Workload{
 	Name:   "bodytrack",
 	Suite:  "P",
 	Domain: "Computer Vision",
-	Run:    runBodytrack,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {1000, 2},
+		sizes.Medium: {4000, 2}, // Table V: 4,000 particles
+		sizes.Large:  {8000, 3},
+	},
+	Run: runBodytrack,
 }
 
-func runBodytrack(h *trace.Harness) {
+func runBodytrack(h *trace.Harness, p []int) {
+	particles, frames := p[0], p[1]
 	const (
 		cameras        = 4
 		imgH, imgW     = 480, 640
-		particles      = 4000 // Table V: 4,000 particles
 		samplesPerBody = 48
-		frames         = 2
 	)
 	images := h.Alloc(cameras * imgH * imgW)
 	weights := h.Alloc(particles * 4)
@@ -114,15 +124,17 @@ var wlCanneal = &Workload{
 	Name:   "canneal",
 	Suite:  "P",
 	Domain: "Engineering",
-	Run:    runCanneal,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {50000, 5000},
+		sizes.Medium: {400000, 40000}, // Table V: 400,000 elements
+		sizes.Large:  {800000, 80000},
+	},
+	Run: runCanneal,
 }
 
-func runCanneal(h *trace.Harness) {
-	const (
-		elements = 400000 // Table V: 400,000 elements
-		swaps    = 40000  // per thread
-		fanout   = 4
-	)
+func runCanneal(h *trace.Harness, p []int) {
+	elements, swaps := p[0], p[1] // swaps are per thread
+	const fanout = 4
 	netlist := h.Alloc(elements * 16) // element: location + net pointers
 	locs := h.Alloc(elements * 8)
 	k := h.Code("cn_swap_cost", 3000)
@@ -160,13 +172,17 @@ var wlDedup = &Workload{
 	Name:   "dedup",
 	Suite:  "P",
 	Domain: "Enterprise Storage",
-	Run:    runDedup,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {2},
+		sizes.Medium: {8}, // Table V: 184 MB; scaled
+		sizes.Large:  {16},
+	},
+	Run: runDedup,
 }
 
-func runDedup(h *trace.Harness) {
+func runDedup(h *trace.Harness, p []int) {
+	stream := p[0] << 20 // stream size in MB
 	const (
-		streamMB  = 8 // Table V: 184 MB; scaled
-		stream    = streamMB << 20
 		hashSlots = 1 << 16
 		avgChunk  = 4096
 	)
@@ -218,14 +234,17 @@ var wlFacesim = &Workload{
 	Name:   "facesim",
 	Suite:  "P",
 	Domain: "Animation",
-	Run:    runFacesim,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {10000},
+		sizes.Medium: {80000}, // Table V: 372,126 tetrahedra; scaled
+		sizes.Large:  {160000},
+	},
+	Run: runFacesim,
 }
 
-func runFacesim(h *trace.Harness) {
-	const (
-		tets  = 80000 // Table V: 372,126 tetrahedra; scaled
-		verts = tets / 2
-	)
+func runFacesim(h *trace.Harness, p []int) {
+	tets := p[0]
+	verts := tets / 2
 	r := newLCG(3)
 	conn := make([]int32, tets*4)
 	for i := range conn {
@@ -281,15 +300,19 @@ var wlFerret = &Workload{
 	Name:   "ferret",
 	Suite:  "P",
 	Domain: "Similarity Search",
-	Run:    runFerret,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {64, 4096},
+		sizes.Medium: {256, 16384}, // Table V: 256 queries
+		sizes.Large:  {512, 32768},
+	},
+	Run: runFerret,
 }
 
-func runFerret(h *trace.Harness) {
+func runFerret(h *trace.Harness, p []int) {
+	queries, dbSize := p[0], p[1]
 	const (
-		queries = 256 // Table V: 256 queries
-		dbSize  = 16384
-		dims    = 16
-		probes  = 2048 // candidate set scanned per query
+		dims   = 16
+		probes = 2048 // candidate set scanned per query
 	)
 	db := h.Alloc(dbSize * dims * 4)
 	qv := h.Alloc(queries * dims * 4)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"repro/internal/sizes"
 	"repro/internal/trace"
 )
 
@@ -13,16 +14,22 @@ var wlFluidanimate = &Workload{
 	Name:   "fluidanimate",
 	Suite:  "P",
 	Domain: "Animation",
-	Run:    runFluidanimate,
+	// Particle counts must stay a multiple of the 32x32x8 cell grid.
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {8192},
+		sizes.Medium: {32768}, // Table V: 300,000 particles; scaled
+		sizes.Large:  {65536},
+	},
+	Run: runFluidanimate,
 }
 
-func runFluidanimate(h *trace.Harness) {
+func runFluidanimate(h *trace.Harness, p []int) {
+	particles := p[0]
 	const (
-		particles = 32768 // Table V: 300,000 particles; scaled
 		cells     = 32 * 32 * 8
-		perCell   = particles / cells
 		neighbors = 14
 	)
+	perCell := particles / cells
 	posA := h.Alloc(particles * 16)
 	velA := h.Alloc(particles * 16)
 	denA := h.Alloc(particles * 4)
@@ -67,15 +74,20 @@ var wlFreqmine = &Workload{
 	Name:   "freqmine",
 	Suite:  "P",
 	Domain: "Data Mining",
-	Run:    runFreqmine,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {10000},
+		sizes.Medium: {80000}, // Table V: 990,000 transactions; scaled
+		sizes.Large:  {160000},
+	},
+	Run: runFreqmine,
 }
 
-func runFreqmine(h *trace.Harness) {
+func runFreqmine(h *trace.Harness, p []int) {
+	transactions := p[0]
 	const (
-		transactions = 80000 // Table V: 990,000 transactions; scaled
-		itemsPerTx   = 6
-		trieNodes    = 1 << 18
-		items        = 1000
+		itemsPerTx = 6
+		trieNodes  = 1 << 18
+		items      = 1000
 	)
 	txA := h.Alloc(transactions * itemsPerTx * 2)
 	counts := h.Alloc(items * 4)
@@ -112,14 +124,19 @@ var wlRaytrace = &Workload{
 	Name:   "raytrace",
 	Suite:  "P",
 	Domain: "Rendering",
-	Run:    runRaytrace,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {60, 80},
+		sizes.Medium: {120, 160},
+		sizes.Large:  {240, 320},
+	},
+	Run: runRaytrace,
 }
 
-func runRaytrace(h *trace.Harness) {
+func runRaytrace(h *trace.Harness, p []int) {
+	imgH, imgW := p[0], p[1]
 	const (
-		imgH, imgW = 120, 160
-		spheres    = 16
-		bounces    = 2
+		spheres = 16
+		bounces = 2
 	)
 	scene := h.Alloc(spheres * 48)
 	fb := h.Alloc(imgH * imgW * 4)
@@ -155,15 +172,17 @@ var wlSwaptions = &Workload{
 	Name:   "swaptions",
 	Suite:  "P",
 	Domain: "Financial Analysis",
-	Run:    runSwaptions,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {16, 160},
+		sizes.Medium: {64, 320}, // Table V: 64 swaptions
+		sizes.Large:  {128, 480},
+	},
+	Run: runSwaptions,
 }
 
-func runSwaptions(h *trace.Harness) {
-	const (
-		swaptions = 64 // Table V: 64 swaptions
-		sims      = 320
-		steps     = 20
-	)
+func runSwaptions(h *trace.Harness, p []int) {
+	swaptions, sims := p[0], p[1]
+	const steps = 20
 	params := h.Alloc(swaptions * 64)
 	path := h.Alloc(Threads * steps * 8)
 	prices := h.Alloc(swaptions * 8)
@@ -199,13 +218,16 @@ var wlVips = &Workload{
 	Name:   "vips",
 	Suite:  "P",
 	Domain: "Media Processing",
-	Run:    runVips,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {128, 256},
+		sizes.Medium: {512, 1024}, // Table V: 26,625,500 pixels; scaled
+		sizes.Large:  {1024, 2048},
+	},
+	Run: runVips,
 }
 
-func runVips(h *trace.Harness) {
-	const (
-		imgH, imgW = 512, 1024 // Table V: 26,625,500 pixels; scaled
-	)
+func runVips(h *trace.Harness, p []int) {
+	imgH, imgW := p[0], p[1]
 	src := h.Alloc(imgH * imgW * 4)
 	tmp := h.Alloc(imgH * imgW * 4)
 	dst := h.Alloc(imgH * imgW * 4)
@@ -255,15 +277,19 @@ var wlX264 = &Workload{
 	Name:   "x264",
 	Suite:  "P",
 	Domain: "Media Processing",
-	Run:    runX264,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {2, 96, 160},
+		sizes.Medium: {6, 180, 320}, // Table V: 128 frames, 640x360; scaled
+		sizes.Large:  {12, 360, 640},
+	},
+	Run: runX264,
 }
 
-func runX264(h *trace.Harness) {
+func runX264(h *trace.Harness, p []int) {
+	frames, imgH, imgW := p[0], p[1], p[2]
 	const (
-		frames     = 6 // Table V: 128 frames, 640x360; scaled
-		imgH, imgW = 180, 320
-		mb         = 16
-		searchPts  = 32
+		mb        = 16
+		searchPts = 32
 	)
 	ref := h.Alloc(imgH * imgW)
 	cur := h.Alloc(imgH * imgW)

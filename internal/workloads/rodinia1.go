@@ -3,6 +3,7 @@ package workloads
 import (
 	"math"
 
+	"repro/internal/sizes"
 	"repro/internal/trace"
 )
 
@@ -17,14 +18,17 @@ var wlBackprop = &Workload{
 	Name:   "backprop",
 	Suite:  "R",
 	Domain: "Pattern Recognition",
-	Run:    runBackprop,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {8192},
+		sizes.Medium: {65536}, // paper: 65536 input nodes
+		sizes.Large:  {131072},
+	},
+	Run: runBackprop,
 }
 
-func runBackprop(h *trace.Harness) {
-	const (
-		n   = 65536 // paper: 65536 input nodes
-		hid = 16
-	)
+func runBackprop(h *trace.Harness, p []int) {
+	n := p[0]
+	const hid = 16
 	input := h.Alloc(n * 4)
 	weights := h.Alloc(n * hid * 4)
 	oldw := h.Alloc(n * hid * 4)
@@ -88,14 +92,17 @@ var wlBFS = &Workload{
 	Name:   "bfs",
 	Suite:  "R",
 	Domain: "Graph Algorithms",
-	Run:    runBFS,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {8192},
+		sizes.Medium: {65536}, // paper: 1,000,000 nodes
+		sizes.Large:  {131072},
+	},
+	Run: runBFS,
 }
 
-func runBFS(h *trace.Harness) {
-	const (
-		n      = 65536 // paper: 1,000,000 nodes
-		degree = 5
-	)
+func runBFS(h *trace.Harness, p []int) {
+	n := p[0]
+	const degree = 5
 	r := newLCG(42)
 	starts := make([]int32, n+1)
 	var edges []int32
@@ -182,12 +189,17 @@ var wlCFD = &Workload{
 	Name:   "cfd",
 	Suite:  "R",
 	Domain: "Fluid Dynamics",
-	Run:    runCFD,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {8192},
+		sizes.Medium: {49152}, // paper: 97k elements
+		sizes.Large:  {98304},
+	},
+	Run: runCFD,
 }
 
-func runCFD(h *trace.Harness) {
+func runCFD(h *trace.Harness, p []int) {
+	nel := p[0]
 	const (
-		nel  = 49152 // paper: 97k elements
 		nvar = 5
 		nnb  = 4
 	)
@@ -246,16 +258,20 @@ var wlHeartwall = &Workload{
 	Name:   "heartwall",
 	Suite:  "R",
 	Domain: "Medical Imaging",
-	Run:    runHeartwall,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {17, 2},
+		sizes.Medium: {51, 2}, // paper point count
+		sizes.Large:  {102, 3},
+	},
+	Run: runHeartwall,
 }
 
-func runHeartwall(h *trace.Harness) {
+func runHeartwall(h *trace.Harness, p []int) {
+	points, frames := p[0], p[1]
 	const (
 		frameH, frameW = 256, 256
-		points         = 51 // paper point count
 		win            = 11
 		tpl            = 4
-		frames         = 2
 	)
 	frame := h.Alloc(frameH * frameW * 4)
 	tpls := h.Alloc(points * tpl * tpl * 4)
@@ -265,7 +281,7 @@ func runHeartwall(h *trace.Harness) {
 	py := make([]int, points)
 	px := make([]int, points)
 	for i := range py {
-		th := 2 * math.Pi * float64(i) / points
+		th := 2 * math.Pi * float64(i) / float64(points)
 		py[i] = frameH/2 + int(60*math.Sin(th))
 		px[i] = frameW/2 + int(60*math.Cos(th))
 	}
@@ -311,14 +327,16 @@ var wlHotspot = &Workload{
 	Name:   "hotspot",
 	Suite:  "R",
 	Domain: "Physics Simulation",
-	Run:    runHotspot,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {128, 4},
+		sizes.Medium: {512, 4}, // paper: 500x500
+		sizes.Large:  {1024, 4},
+	},
+	Run: runHotspot,
 }
 
-func runHotspot(h *trace.Harness) {
-	const (
-		n     = 512 // paper: 500x500
-		iters = 4
-	)
+func runHotspot(h *trace.Harness, p []int) {
+	n, iters := p[0], p[1]
 	tempA := h.Alloc(n * n * 4)
 	tempB := h.Alloc(n * n * 4)
 	power := h.Alloc(n * n * 4)
@@ -356,12 +374,17 @@ var wlKmeans = &Workload{
 	Name:   "kmeans",
 	Suite:  "R",
 	Domain: "Data Mining",
-	Run:    runKmeans,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {2048},
+		sizes.Medium: {16384}, // paper: 204800 points
+		sizes.Large:  {49152},
+	},
+	Run: runKmeans,
 }
 
-func runKmeans(h *trace.Harness) {
+func runKmeans(h *trace.Harness, p []int) {
+	n := p[0]
 	const (
-		n  = 16384 // paper: 204800 points
 		nf = 34
 		k  = 5
 	)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"repro/internal/sizes"
 	"repro/internal/trace"
 )
 
@@ -13,12 +14,17 @@ var wlLeukocyte = &Workload{
 	Name:   "leukocyte",
 	Suite:  "R",
 	Domain: "Medical Imaging",
-	Run:    runLeukocyte,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {48, 120},
+		sizes.Medium: {96, 240}, // frame region
+		sizes.Large:  {192, 480},
+	},
+	Run: runLeukocyte,
 }
 
-func runLeukocyte(h *trace.Harness) {
+func runLeukocyte(h *trace.Harness, p []int) {
+	ih, iw := p[0], p[1]
 	const (
-		ih, iw  = 96, 240 // frame region
 		samples = 16
 		disk    = 2
 	)
@@ -83,11 +89,16 @@ var wlLUD = &Workload{
 	Name:   "lud",
 	Suite:  "R",
 	Domain: "Linear Algebra",
-	Run:    runLUD,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {64},
+		sizes.Medium: {160}, // paper: 256x256; scaled for trace volume
+		sizes.Large:  {256},
+	},
+	Run: runLUD,
 }
 
-func runLUD(h *trace.Harness) {
-	const n = 160 // paper: 256x256; scaled for trace volume
+func runLUD(h *trace.Harness, p []int) {
+	n := p[0]
 	mat := h.Alloc(n * n * 4)
 	k := h.Code("lud_kernel", 240)
 
@@ -130,15 +141,17 @@ var wlMummer = &Workload{
 	Name:   "mummergpu",
 	Suite:  "R",
 	Domain: "Bioinformatics",
-	Run:    runMummer,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {65536, 3000},
+		sizes.Medium: {262144, 12000}, // paper: 50000 queries
+		sizes.Large:  {524288, 24000},
+	},
+	Run: runMummer,
 }
 
-func runMummer(h *trace.Harness) {
-	const (
-		refLen = 262144 // scaled reference
-		nq     = 12000  // paper: 50000 queries
-		qlen   = 25
-	)
+func runMummer(h *trace.Harness, p []int) {
+	refLen, nq := p[0], p[1]
+	const qlen = 25
 	r := newLCG(101)
 	ref := make([]byte, refLen)
 	for i := range ref {
@@ -149,7 +162,7 @@ func runMummer(h *trace.Harness) {
 	// tracing purposes the tree is modeled as a node table whose topology
 	// comes from a real suffix tree of a sampled prefix, tiled to full
 	// size. Node walks are genuine pointer chases over ~16 MB.
-	const nodes = 2 * refLen
+	nodes := 2 * refLen
 	childA := h.Alloc(nodes * 4 * 4) // 8 MB
 	edgeA := h.Alloc(nodes * 8)      // 4 MB
 	refA := h.Alloc(refLen)
@@ -172,7 +185,7 @@ func runMummer(h *trace.Harness) {
 	// pointers (scattered, data-dependent).
 	childOf := func(node int, ch byte) int {
 		x := uint64(node)*2654435761 + uint64(ch)*40503
-		return int(x % nodes)
+		return int(x % uint64(nodes))
 	}
 
 	h.Parallel(func(tid int, c *trace.Ctx) {
@@ -210,14 +223,17 @@ var wlNW = &Workload{
 	Name:   "nw",
 	Suite:  "R",
 	Domain: "Bioinformatics",
-	Run:    runNW,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {256},
+		sizes.Medium: {1024}, // paper: 2048x2048
+		sizes.Large:  {1536},
+	},
+	Run: runNW,
 }
 
-func runNW(h *trace.Harness) {
-	const (
-		n     = 1024 // paper: 2048x2048
-		block = 64
-	)
+func runNW(h *trace.Harness, p []int) {
+	n := p[0]
+	const block = 64
 	mat := h.Alloc((n + 1) * (n + 1) * 4)
 	ref := h.Alloc(n * n * 4)
 	k := h.Code("nw_kernel", 320)
@@ -257,14 +273,16 @@ var wlSRAD = &Workload{
 	Name:   "srad",
 	Suite:  "R",
 	Domain: "Image Processing",
-	Run:    runSRAD,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {128, 1},
+		sizes.Medium: {512, 1}, // paper: 512x512
+		sizes.Large:  {1024, 1},
+	},
+	Run: runSRAD,
 }
 
-func runSRAD(h *trace.Harness) {
-	const (
-		n     = 512 // paper: 512x512
-		iters = 1
-	)
+func runSRAD(h *trace.Harness, p []int) {
+	n, iters := p[0], p[1]
 	img := h.Alloc(n * n * 4)
 	dN := h.Alloc(n * n * 4)
 	dS := h.Alloc(n * n * 4)
@@ -322,12 +340,17 @@ var wlStreamCluster = &Workload{
 	Name:   "streamcluster",
 	Suite:  "R,P",
 	Domain: "Data Mining",
-	Run:    runStreamCluster,
+	Sizes: [sizes.NumClasses][]int{
+		sizes.Test:   {4096},
+		sizes.Medium: {16384}, // paper: 65536 points x 256 dims (Rodinia) / 16384 per block (Parsec)
+		sizes.Large:  {49152},
+	},
+	Run: runStreamCluster,
 }
 
-func runStreamCluster(h *trace.Harness) {
+func runStreamCluster(h *trace.Harness, p []int) {
+	n := p[0]
 	const (
-		n    = 16384 // paper: 65536 points x 256 dims (Rodinia) / 16384 per block (Parsec)
 		dim  = 64
 		cand = 5
 	)

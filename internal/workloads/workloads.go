@@ -11,18 +11,31 @@
 // volume tractable; EXPERIMENTS.md records each scaling.
 package workloads
 
-import "repro/internal/trace"
+import (
+	"repro/internal/sizes"
+	"repro/internal/trace"
+)
 
-// Workload is one instrumented program.
+// Workload is one instrumented program. Problem size is a first-class
+// axis: Sizes holds one parameter vector per size class (medium is the
+// historical default, so default-size traces are bit-identical to the
+// pre-axis ones) and Run receives the vector for the class being traced.
 type Workload struct {
 	Name   string // figure label, e.g. "srad"
 	Suite  string // "R", "P", or "R,P" (StreamCluster is in both suites)
 	Domain string
-	Run    func(h *trace.Harness)
+	Sizes  [sizes.NumClasses][]int
+	Run    func(h *trace.Harness, p []int)
 }
 
 // Label renders the dendrogram leaf label, e.g. "srad(R)".
 func (w *Workload) Label() string { return w.Name + "(" + w.Suite + ")" }
+
+// RunAt traces the workload at the given size class.
+func (w *Workload) RunAt(h *trace.Harness, c sizes.Class) { w.Run(h, w.Sizes[c]) }
+
+// RunDefault traces the workload at the default (medium) class.
+func (w *Workload) RunDefault(h *trace.Harness) { w.RunAt(h, sizes.Default) }
 
 // Threads is the core count of the Bienia et al. methodology.
 const Threads = 8

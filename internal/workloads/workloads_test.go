@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cachesim"
+	"repro/internal/sizes"
 	"repro/internal/trace"
 )
 
@@ -22,6 +23,11 @@ func TestRegistries(t *testing.T) {
 	for _, w := range All() {
 		if w.Name == "" || w.Domain == "" || w.Run == nil {
 			t.Errorf("incomplete workload %+v", w)
+		}
+		for _, c := range sizes.Classes() {
+			if len(w.Sizes[c]) == 0 {
+				t.Errorf("%s: no size params for class %s", w.Name, c)
+			}
 		}
 		if seen[w.Name] {
 			t.Errorf("duplicate workload %s", w.Name)
@@ -90,7 +96,7 @@ func TestEveryWorkloadProducesParallelWork(t *testing.T) {
 			t.Parallel()
 			c := &countingConsumer{tids: map[uint8]bool{}}
 			h := trace.NewHarness(Threads, c)
-			w.Run(h)
+			w.RunDefault(h)
 			if c.mem == 0 || c.alu == 0 {
 				t.Fatalf("no work traced: mem=%d alu=%d", c.mem, c.alu)
 			}
@@ -115,7 +121,7 @@ func TestWorkloadsDeterministic(t *testing.T) {
 			h := trace.NewHarness(Threads, consumerFunc(func(e *trace.Event) {
 				s = s*31 + e.Addr + uint64(e.Kind) + uint64(e.Count)
 			}))
-			w.Run(h)
+			w.RunDefault(h)
 			return s
 		}
 		if a, b := sum(), sum(); a != b {
@@ -127,6 +133,49 @@ func TestWorkloadsDeterministic(t *testing.T) {
 type consumerFunc func(e *trace.Event)
 
 func (f consumerFunc) Event(e *trace.Event) { f(e) }
+
+// TestEveryWorkloadRunsAtTestSize traces every workload at the small
+// class: the size axis must keep every run body valid, and the test
+// class must do strictly less memory work than medium.
+func TestEveryWorkloadRunsAtTestSize(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			count := func(c sizes.Class) uint64 {
+				cc := &countingConsumer{tids: map[uint8]bool{}}
+				h := trace.NewHarness(Threads, cc)
+				w.RunAt(h, c)
+				if cc.mem == 0 {
+					t.Fatalf("class %s traced no memory events", c)
+				}
+				return cc.mem
+			}
+			if small, med := count(sizes.Test), count(sizes.Medium); small >= med {
+				t.Fatalf("test class (%d mem events) not smaller than medium (%d)", small, med)
+			}
+		})
+	}
+}
+
+// TestDefaultClassMatchesMediumTrace pins the byte-identity guarantee on
+// the CPU side: RunDefault and RunAt(medium) produce identical traces.
+func TestDefaultClassMatchesMediumTrace(t *testing.T) {
+	w, _ := ByName("srad")
+	sum := func(run func(h *trace.Harness)) uint64 {
+		var s uint64
+		h := trace.NewHarness(Threads, consumerFunc(func(e *trace.Event) {
+			s = s*31 + e.Addr + uint64(e.Kind) + uint64(e.Count)
+		}))
+		run(h)
+		return s
+	}
+	a := sum(w.RunDefault)
+	b := sum(func(h *trace.Harness) { w.RunAt(h, sizes.Medium) })
+	if a != b {
+		t.Fatalf("default trace %x differs from medium trace %x", a, b)
+	}
+}
 
 // TestCharacteristicShapes locks in the qualitative orderings the paper's
 // figures depend on.
@@ -141,7 +190,7 @@ func TestCharacteristicShapes(t *testing.T) {
 		sh := cachesim.NewSharing()
 		fp := cachesim.NewDataFootprint()
 		h := trace.NewHarness(Threads, mix, sweep, sh, fp)
-		w.Run(h)
+		w.RunDefault(h)
 		return mix, sweep, sh, fp, h
 	}
 	miss4M := func(s *cachesim.Sweep) float64 {
