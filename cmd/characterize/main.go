@@ -9,6 +9,7 @@
 //	characterize -suite rodinia  # one suite (rodinia | parsec)
 //	characterize -w srad,canneal # specific workloads
 //	characterize -size test      # problem size class (test | medium | large)
+//	characterize -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sizes"
 	"repro/internal/workloads"
@@ -28,6 +30,7 @@ func main() {
 	suite := flag.String("suite", "", "restrict to one suite: rodinia or parsec")
 	names := flag.String("w", "", "comma-separated workload names")
 	sizeName := flag.String("size", sizes.Default.String(), "problem size class: test, medium or large")
+	prof := obs.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	size, err := sizes.Parse(*sizeName)
@@ -35,6 +38,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer prof.Stop()
 
 	var ws []*workloads.Workload
 	switch {

@@ -12,6 +12,10 @@
 //	experiments -parallel 0  # fan out across GOMAXPROCS workers
 //	experiments -replay=false # re-execute kernels for every configuration
 //	experiments -tracelog    # log trace capture/replay/fallback decisions
+//	experiments -progress    # live progress (done/total, percent, ETA) on stderr
+//	experiments -telemetry results # write telemetry.json/.txt ("" disables)
+//	experiments -debug-addr 127.0.0.1:0 # serve expvar + pprof while running
+//	experiments -debug-hold  # after the run, stay up until GET /debug/quit
 //	experiments -cpuprofile cpu.prof -memprofile mem.prof
 //
 // With -parallel, independent experiments run concurrently on a shared
@@ -23,6 +27,12 @@
 // every further timing configuration replays the trace (bit-identical
 // Stats, roughly half the wall clock of a full pass). -replay=false is
 // the escape hatch that forces full re-execution everywhere.
+//
+// Every run reports through an obs.Registry: -debug-addr serves the live
+// registry as expvar JSON at /debug/vars (plus net/http/pprof), and
+// -telemetry writes the per-run report — per-benchmark wall time and
+// cycles/sec, trace-cache behavior, worker utilization, per-SM cycle
+// accounting — as telemetry.json and telemetry.txt.
 package main
 
 import (
@@ -31,32 +41,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 )
-
-// writeMemProfile records a heap profile after a final GC so the numbers
-// reflect live allocations, not collectable garbage. A no-op when path is
-// empty.
-func writeMemProfile(path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-		return
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-	}
-}
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
@@ -68,8 +59,11 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiment worker count; 0 means GOMAXPROCS")
 	replay := flag.Bool("replay", true, "trace each benchmark once and replay it for further configs")
 	tracelog := flag.Bool("tracelog", false, "log trace capture/replay/fallback decisions to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	progress := flag.Bool("progress", false, "report live progress (done/total, percent, ETA) on stderr")
+	telemetry := flag.String("telemetry", "results", "directory for telemetry.json/telemetry.txt (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar JSON and pprof on this host:port while running")
+	debugHold := flag.Bool("debug-hold", false, "with -debug-addr, keep serving after the run until GET /debug/quit")
+	prof := obs.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	size, err := sizes.Parse(*sizeName)
@@ -86,19 +80,11 @@ func main() {
 		}
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(2)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(2)
-		}
-		defer pprof.StopCPUProfile()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	defer writeMemProfile(*memprofile)
+	defer prof.Stop()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -137,13 +123,41 @@ func main() {
 	ctx.Replay = *replay
 	ctx.Size = size
 	ctx.ScalingClasses = scalingClasses
+	ctx.Obs = obs.New()
 	if *tracelog {
-		ctx.TraceLog = func(format string, args ...any) {
+		ctx.Obs.OnEvent("trace", func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
-		}
+		})
 	}
+
+	var srv *obs.DebugServer
+	if *debugAddr != "" {
+		srv, err = obs.ServeDebug(*debugAddr, ctx.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug: serving expvar and pprof on http://%s/debug/vars\n", srv.Addr())
+	}
+
+	start := time.Now()
+	done := 0
 	failed := false
-	experiments.RunConcurrent(ctx, selected, workers, func(o experiments.Outcome) {
+	outcomes := experiments.RunConcurrent(ctx, selected, workers, func(o experiments.Outcome) {
+		done++
+		if *progress {
+			// ETA extrapolates the mean per-experiment wall time over what
+			// remains — crude (experiments vary wildly in cost) but live.
+			elapsed := time.Since(start)
+			eta := time.Duration(0)
+			if done > 0 {
+				eta = elapsed / time.Duration(done) * time.Duration(len(selected)-done)
+			}
+			fmt.Fprintf(os.Stderr, "progress: [%d/%d] %.0f%% %s done in %s (elapsed %s, eta %s)\n",
+				done, len(selected), 100*float64(done)/float64(len(selected)), o.Experiment.ID,
+				o.Elapsed.Truncate(time.Millisecond), elapsed.Truncate(time.Second), eta.Truncate(time.Second))
+		}
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Experiment.ID, o.Err)
 			failed = true
@@ -176,13 +190,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace: %d captures, %d replays, %d fallbacks, %d evictions, %d uncacheable, %d bytes cached\n",
 			c.Captures, c.Replays, c.Fallbacks, c.Evictions, c.Uncacheable, c.Bytes)
 	}
+	if *telemetry != "" {
+		t := experiments.BuildTelemetry(ctx, outcomes)
+		if err := t.Write(*telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", filepath.Join(*telemetry, "telemetry.json"))
+		}
+	}
+	if srv != nil && *debugHold {
+		fmt.Fprintf(os.Stderr, "debug: run complete; holding for GET http://%s/debug/quit\n", srv.Addr())
+		<-srv.Quit()
+	}
 	if failed {
 		// os.Exit skips defers; the run itself completed, so flush the
 		// profiles before reporting failure.
-		if *cpuprofile != "" {
-			pprof.StopCPUProfile()
-		}
-		writeMemProfile(*memprofile)
+		prof.Stop()
 		os.Exit(1)
 	}
 }

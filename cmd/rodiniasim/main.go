@@ -13,6 +13,7 @@
 //	rodiniasim -nocheck             # skip functional validation
 //	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
 //	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
+//	rodiniasim -debug-addr 127.0.0.1:0 # serve live expvar metrics + pprof
 //	rodiniasim -cpuprofile cpu.prof # write a pprof CPU profile of the run
 //	rodiniasim -memprofile mem.prof # write a pprof heap profile at exit
 //
@@ -28,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -37,27 +37,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 )
-
-// writeMemProfile records a heap profile after a final GC so the numbers
-// reflect live allocations, not collectable garbage. A no-op when path is
-// empty.
-func writeMemProfile(path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-		return
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-	}
-}
 
 // listBenchmarks prints every benchmark with its dwarf, the paper's
 // problem size, and the simulated size of each class.
@@ -98,8 +80,8 @@ func main() {
 	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
 	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently; 0 means GOMAXPROCS")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	debugAddr := flag.String("debug-addr", "", "serve expvar JSON and pprof on this host:port while running")
+	prof := obs.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -113,19 +95,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(2)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			os.Exit(2)
-		}
-		defer pprof.StopCPUProfile()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	defer writeMemProfile(*memprofile)
+	defer prof.Stop()
+
+	reg := obs.New()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug: serving expvar and pprof on http://%s/debug/vars\n", srv.Addr())
+	}
 
 	var cfgs []gpusim.Config
 	for _, name := range strings.Split(*cfgName, ",") {
@@ -176,10 +161,11 @@ func main() {
 		ctx.Check = !*nocheck
 		ctx.Replay = *replay
 		ctx.Size = size
+		ctx.Obs = reg
 	}
 	runBench := func(b *kernels.Benchmark) outcome {
 		if ctx == nil {
-			st, err := core.CharacterizeGPUAt(b, size, cfg, !*nocheck)
+			st, err := core.CharacterizeGPUObs(b, size, cfg, !*nocheck, reg)
 			return outcome{sts: []*gpusim.Stats{st}, err: err}
 		}
 		var sts []*gpusim.Stats

@@ -1,16 +1,31 @@
 // Command suitecompare runs the full Rodinia-vs-Parsec application-space
 // study of Section IV: workload profiling, PCA, hierarchical clustering
 // and all the comparison figures (6-12).
+//
+// Usage:
+//
+//	suitecompare
+//	suitecompare -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	prof := obs.ProfileFlags(flag.CommandLine)
+	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer prof.Stop()
+
 	ctx := experiments.NewContext()
 	for _, id := range []string{"table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
 		e, ok := experiments.ByID(id)

@@ -28,6 +28,11 @@ type Sweep struct {
 
 	Accesses uint64
 
+	// Probes counts the accesses that survived the repeat-line filter and
+	// actually walked the recency stacks — the Probes/Accesses ratio is
+	// the filter's measured effectiveness on a workload.
+	Probes uint64
+
 	misses []uint64
 	levels []sweepLevel
 	ways   int
@@ -115,6 +120,7 @@ func (s *Sweep) access(line uint64) {
 	}
 	s.lastLine = line
 	s.haveLast = true
+	s.Probes++
 	tag := line + 1
 	if s.ways == 4 {
 		// Unrolled probe for the paper's 4-way geometry: explicit

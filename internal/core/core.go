@@ -9,10 +9,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cachesim"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -92,12 +94,29 @@ func CharacterizeCPU(w *workloads.Workload) *CPUProfile {
 
 // CharacterizeCPUAt is CharacterizeCPU at an explicit size class.
 func CharacterizeCPUAt(w *workloads.Workload, size sizes.Class) *CPUProfile {
+	return CharacterizeCPUObs(w, size, nil)
+}
+
+// CharacterizeCPUObs is CharacterizeCPUAt with telemetry: the pipeline's
+// event/batch totals, sweep probe counts and the workload's wall time
+// land in the registry (cpu.* instruments; nil is the free no-op).
+func CharacterizeCPUObs(w *workloads.Workload, size sizes.Class, r *obs.Registry) *CPUProfile {
 	mix := &cachesim.Mix{}
 	sweep := cachesim.NewSweep()
 	sharing := cachesim.NewSharing()
 	foot := cachesim.NewDataFootprint()
 	h := trace.NewHarness(workloads.Threads, mix, sweep, sharing, foot)
+	h.SetObs(r)
+	t0 := time.Now()
 	w.RunAt(h, size)
+	if r != nil {
+		r.Counter("cpu.trace.events").Add(h.Events)
+		r.Counter("cpu.trace.batches").Add(h.Batches)
+		r.Counter("cpu.sweep.accesses").Add(sweep.Accesses)
+		r.Counter("cpu.sweep.probes").Add(sweep.Probes)
+		r.Counter(obs.Name("cpu.workload.wall_ns", "workload", w.Name)).Add(uint64(time.Since(t0)))
+		r.Counter("cpu.workloads").Inc()
+	}
 
 	alu, br, ld, st := mix.Fractions()
 	return &CPUProfile{
@@ -138,16 +157,27 @@ func CharacterizeCPUAllWorkers(ws []*workloads.Workload, workers int) []*CPUProf
 // order and are identical to a serial pass regardless of the worker
 // count.
 func CharacterizeCPUAllWorkersAt(ws []*workloads.Workload, size sizes.Class, workers int) []*CPUProfile {
+	return CharacterizeCPUAllObs(ws, size, workers, nil)
+}
+
+// CharacterizeCPUAllObs is CharacterizeCPUAllWorkersAt with telemetry:
+// each workload reports through the registry (safe concurrently — every
+// instrument is atomic), and the pool itself reports its size. A nil
+// registry is the free no-op.
+func CharacterizeCPUAllObs(ws []*workloads.Workload, size sizes.Class, workers int, r *obs.Registry) []*CPUProfile {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(ws) {
 		workers = len(ws)
 	}
+	if r != nil {
+		r.Gauge("cpu.pool.workers").Set(int64(workers))
+	}
 	out := make([]*CPUProfile, len(ws))
 	if workers <= 1 {
 		for i, w := range ws {
-			out[i] = CharacterizeCPUAt(w, size)
+			out[i] = CharacterizeCPUObs(w, size, r)
 		}
 		return out
 	}
@@ -158,7 +188,7 @@ func CharacterizeCPUAllWorkersAt(ws []*workloads.Workload, size sizes.Class, wor
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = CharacterizeCPUAt(ws[i], size)
+				out[i] = CharacterizeCPUObs(ws[i], size, r)
 			}
 		}()
 	}
@@ -181,11 +211,21 @@ func CharacterizeGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpus
 // With check set, device results are validated against the CPU reference
 // first.
 func CharacterizeGPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	return CharacterizeGPUObs(b, size, cfg, check, nil)
+}
+
+// CharacterizeGPUObs is CharacterizeGPUAt with telemetry: the simulated
+// GPU reports per-SM busy/idle cycles, stall reasons and memory-pipeline
+// occupancy through the registry (gpusim.* instruments; nil is the free
+// no-op). The registry rides on the GPU instance, not in its Config or
+// Stats, so memo keys and determinism comparisons are unaffected.
+func CharacterizeGPUObs(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, error) {
 	in := b.InstanceAt(size)
 	g, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	g.SetObs(r)
 	if err := in.Run(g); err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", b.Abbrev, cfg.Name, err)
 	}
@@ -208,11 +248,17 @@ func CaptureGPU(b *kernels.Benchmark, cfg gpusim.Config, check bool) (*gpusim.St
 // configurations (gpusim.RunTrace.CompatibleWith). Recording does not
 // perturb the statistics.
 func CaptureGPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	return CaptureGPUObs(b, size, cfg, check, nil)
+}
+
+// CaptureGPUObs is CaptureGPUAt with telemetry; see CharacterizeGPUObs.
+func CaptureGPUObs(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, *gpusim.RunTrace, error) {
 	in := b.InstanceAt(size)
 	g, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	g.SetObs(r)
 	tb := g.Capture()
 	if err := in.Run(g); err != nil {
 		return nil, nil, fmt.Errorf("core: %s on %s: %w", b.Abbrev, cfg.Name, err)
@@ -230,10 +276,18 @@ func CaptureGPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, che
 // only the timing model runs. The caller is responsible for checking
 // trace compatibility (or accepting the error Replay returns).
 func ReplayGPU(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace) (*gpusim.Stats, error) {
+	return ReplayGPUObs(b, cfg, rt, nil)
+}
+
+// ReplayGPUObs is ReplayGPU with telemetry; see CharacterizeGPUObs.
+// Replay funnels through the same launch loop as live execution, so a
+// replayed run reports the identical cycle-level instrument set.
+func ReplayGPUObs(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace, r *obs.Registry) (*gpusim.Stats, error) {
 	g, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	g.SetObs(r)
 	if err := g.Replay(rt); err != nil {
 		return nil, fmt.Errorf("core: %s replay on %s: %w", b.Abbrev, cfg.Name, err)
 	}

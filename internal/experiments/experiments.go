@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 	"repro/internal/workloads"
 )
@@ -78,9 +80,14 @@ type Context struct {
 	// once the cap is exceeded.
 	TraceCacheBytes int64
 
-	// TraceLog, when non-nil, receives one line per trace decision:
-	// capture, replay, fallback, eviction.
-	TraceLog func(format string, args ...any)
+	// Obs, when non-nil, is the metrics registry the whole run reports
+	// through: memoized GPU characterizations (exp.gpu.*), the trace
+	// cache (exp.trace.*), the CPU-profile pool (cpu.*), the concurrent
+	// runner (runner.*) and the simulators underneath. Trace decisions —
+	// capture, replay, fallback, eviction — are published as "trace"
+	// events on it; subscribe with Obs.OnEvent("trace", ...) (this is how
+	// cmd/experiments implements -tracelog).
+	Obs *obs.Registry
 
 	mu        sync.Mutex
 	gpuCalls  map[gpuKey]*gpuCall
@@ -129,9 +136,9 @@ type profilesCall struct {
 // The characterization entry points are swappable so tests can count and
 // fake executions.
 var (
-	characterizeGPU = core.CharacterizeGPUAt
-	captureGPU      = core.CaptureGPUAt
-	replayGPU       = core.ReplayGPU
+	characterizeGPU = core.CharacterizeGPUObs
+	captureGPU      = core.CaptureGPUObs
+	replayGPU       = core.ReplayGPUObs
 )
 
 // NewContext returns an empty cache with validation and trace replay
@@ -166,7 +173,20 @@ func (c *Context) GPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Confi
 	c.gpuCalls[key] = call
 	c.mu.Unlock()
 
+	var t0 time.Time
+	if c.Obs != nil {
+		t0 = time.Now()
+	}
 	call.stats, call.err = c.characterize(b, size, cfg)
+	if c.Obs != nil && call.err == nil {
+		// Only executed characterizations land here — memo hits above
+		// return without re-reporting, so exp.gpu.runs counts simulations,
+		// not requests.
+		id := traceID{bench: b.Abbrev, size: size}.String()
+		c.Obs.Counter(obs.Name("exp.gpu.wall_ns", "bench", id)).Add(uint64(time.Since(t0)))
+		c.Obs.Counter(obs.Name("exp.gpu.cycles", "bench", id)).Add(call.stats.Cycles)
+		c.Obs.Counter(obs.Name("exp.gpu.runs", "bench", id)).Inc()
+	}
 	close(call.done)
 	return call.stats, call.err
 }
@@ -179,7 +199,7 @@ func (c *Context) GPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Confi
 // once and replays the rest.
 func (c *Context) characterize(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config) (*gpusim.Stats, error) {
 	if !c.Replay {
-		return characterizeGPU(b, size, cfg, c.Check)
+		return characterizeGPU(b, size, cfg, c.Check, c.Obs)
 	}
 	id := traceID{bench: b.Abbrev, size: size}
 	gate, traces := c.traceState(id)
@@ -188,7 +208,7 @@ func (c *Context) characterize(b *kernels.Benchmark, size sizes.Class, cfg gpusi
 	if rt != nil {
 		gate.Unlock() // replays only read the trace; they need no gate
 		c.tracef("replay   %s on %s (%d launches)", id, cfg.Name, rt.NumLaunches())
-		return replayGPU(b, cfg, rt)
+		return replayGPU(b, cfg, rt, c.Obs)
 	}
 	defer gate.Unlock()
 	traces.noteCapture(fallback != "")
@@ -197,7 +217,7 @@ func (c *Context) characterize(b *kernels.Benchmark, size sizes.Class, cfg gpusi
 	} else {
 		c.tracef("capture  %s on %s", id, cfg.Name)
 	}
-	st, fresh, err := captureGPU(b, size, cfg, c.Check)
+	st, fresh, err := captureGPU(b, size, cfg, c.Check, c.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +240,7 @@ func (c *Context) traceState(id traceID) (*sync.Mutex, *traceCache) {
 		c.gates = make(map[traceID]*sync.Mutex)
 	}
 	if c.traces == nil {
-		c.traces = newTraceCache(c.TraceCacheBytes)
+		c.traces = newTraceCache(c.TraceCacheBytes, c.Obs)
 	}
 	gate := c.gates[id]
 	if gate == nil {
@@ -243,9 +263,7 @@ func (c *Context) TraceCounters() TraceCounters {
 }
 
 func (c *Context) tracef(format string, args ...any) {
-	if c.TraceLog != nil {
-		c.TraceLog(format, args...)
-	}
+	c.Obs.Eventf("trace", format, args...)
 }
 
 // Profiles characterizes every CPU workload once at the Context's size
@@ -268,7 +286,7 @@ func (c *Context) ProfilesAt(size sizes.Class) []*core.CPUProfile {
 		call = &profilesCall{done: make(chan struct{})}
 		c.profCalls[size] = call
 		c.mu.Unlock()
-		call.profiles = core.CharacterizeCPUAllWorkersAt(workloads.All(), size, c.Workers)
+		call.profiles = core.CharacterizeCPUAllObs(workloads.All(), size, c.Workers, c.Obs)
 		close(call.done)
 		return call.profiles
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Outcome is one experiment's run record.
@@ -28,6 +30,24 @@ func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(O
 	if workers > len(exps) {
 		workers = len(exps)
 	}
+	// Runner telemetry: queue depth and in-flight tasks live on gauges so
+	// -debug-addr shows the pool's state mid-run; per-task wall times feed
+	// a histogram plus a per-experiment labeled counter, and the busy/wall
+	// totals let the report compute worker utilization as
+	// busy_ns / (workers × wall_ns). All instruments are nil no-ops
+	// without a registry.
+	r := ctx.Obs
+	var (
+		queueDepth = r.Gauge("runner.queue_depth")
+		inflight   = r.Gauge("runner.inflight")
+		tasks      = r.Counter("runner.tasks")
+		taskNs     = r.Histogram("runner.task.ns")
+		busyNs     = r.Counter("runner.busy_ns")
+	)
+	r.Gauge("runner.workers").Set(int64(workers))
+	queueDepth.Set(int64(len(exps)))
+	start := time.Now()
+
 	outcomes := make([]Outcome, len(exps))
 	ready := make([]chan struct{}, len(exps))
 	for i := range ready {
@@ -40,7 +60,17 @@ func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(O
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				queueDepth.Add(-1)
+				inflight.Add(1)
 				outcomes[i] = runOne(ctx, exps[i])
+				inflight.Add(-1)
+				tasks.Inc()
+				d := uint64(outcomes[i].Elapsed)
+				taskNs.Observe(d)
+				busyNs.Add(d)
+				if r != nil {
+					r.Counter(obs.Name("runner.exp.wall_ns", "exp", exps[i].ID)).Add(d)
+				}
 				close(ready[i])
 			}
 		}()
@@ -58,6 +88,7 @@ func RunConcurrent(ctx *Context, exps []*Experiment, workers int, deliver func(O
 		}
 	}
 	wg.Wait()
+	r.Counter("runner.wall_ns").Add(uint64(time.Since(start)))
 	return outcomes
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 )
 
@@ -20,7 +21,7 @@ import (
 func TestContextSingleflight(t *testing.T) {
 	var runs atomic.Int32
 	orig := characterizeGPU
-	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, error) {
 		runs.Add(1)
 		time.Sleep(10 * time.Millisecond) // widen the race window
 		return gpusim.NewStats(cfg.Name), nil
@@ -59,7 +60,7 @@ func TestContextSingleflight(t *testing.T) {
 func TestContextSingleflightCachesErrors(t *testing.T) {
 	var runs atomic.Int32
 	orig := characterizeGPU
-	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, error) {
 		runs.Add(1)
 		return nil, fmt.Errorf("boom")
 	}
@@ -87,7 +88,7 @@ func TestContextSingleflightCachesErrors(t *testing.T) {
 func TestMemoKeyedBySize(t *testing.T) {
 	var runs atomic.Int32
 	orig := characterizeGPU
-	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, error) {
+	characterizeGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, error) {
 		runs.Add(1)
 		return gpusim.NewStats(size.String()), nil
 	}
@@ -188,15 +189,15 @@ func TestRunConcurrentNoDeliver(t *testing.T) {
 func TestContextSingleflightReplayPath(t *testing.T) {
 	var captures, replays atomic.Int32
 	origCap, origRep := captureGPU, replayGPU
-	captureGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool) (*gpusim.Stats, *gpusim.RunTrace, error) {
+	captureGPU = func(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config, check bool, r *obs.Registry) (*gpusim.Stats, *gpusim.RunTrace, error) {
 		captures.Add(1)
 		time.Sleep(10 * time.Millisecond) // widen the race window
-		st, rt, err := origCap(b, size, cfg, false)
+		st, rt, err := origCap(b, size, cfg, false, nil)
 		return st, rt, err
 	}
-	replayGPU = func(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace) (*gpusim.Stats, error) {
+	replayGPU = func(b *kernels.Benchmark, cfg gpusim.Config, rt *gpusim.RunTrace, r *obs.Registry) (*gpusim.Stats, error) {
 		replays.Add(1)
-		return origRep(b, cfg, rt)
+		return origRep(b, cfg, rt, nil)
 	}
 	defer func() { captureGPU, replayGPU = origCap, origRep }()
 

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/sizes"
+	"repro/internal/workloads"
+)
+
+// TestTelemetryReport drives a small real run — one benchmark under two
+// same-SM-count configurations (capture then replay) plus the CPU profile
+// pass — through a Context with a live registry, and pins the report's
+// invariants: the trace section equals TraceCounters (and the registry
+// mirrors), every SM's busy+idle equals its cycle total, per-benchmark
+// wall times are recorded, and the whole report survives a JSON round
+// trip.
+func TestTelemetryReport(t *testing.T) {
+	ctx := NewContext()
+	ctx.Size = sizes.Test
+	ctx.Check = false
+	ctx.Obs = obs.New()
+
+	b := kernels.All()[0]
+	cfgA := gpusim.Base8SM()
+	cfgB := gpusim.Base8SM()
+	cfgB.Name = "base8-2xchan"
+	cfgB.MemChannels *= 2
+
+	gpuExp := &Experiment{ID: "tgpu", Title: "telemetry gpu", Run: func(c *Context) (*Result, error) {
+		for _, cfg := range []gpusim.Config{cfgA, cfgB} {
+			if _, err := c.GPU(b, cfg); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{ID: "tgpu"}, nil
+	}}
+	cpuExp := &Experiment{ID: "tcpu", Title: "telemetry cpu", Run: func(c *Context) (*Result, error) {
+		c.Profiles()
+		return &Result{ID: "tcpu"}, nil
+	}}
+	outcomes := RunConcurrent(ctx, []*Experiment{gpuExp, cpuExp}, 2, nil)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+		}
+	}
+
+	tel := BuildTelemetry(ctx, outcomes)
+
+	// Trace section: equal to TraceCounters and to the registry mirrors.
+	tc := ctx.TraceCounters()
+	if tel.Trace != tc {
+		t.Fatalf("telemetry trace %+v != TraceCounters %+v", tel.Trace, tc)
+	}
+	if tc.Captures != 1 || tc.Replays != 1 {
+		t.Fatalf("trace counters = %+v, want 1 capture and 1 replay", tc)
+	}
+	counters := ctx.Obs.Counters()
+	if counters["exp.trace.captures"] != tc.Captures || counters["exp.trace.replays"] != tc.Replays {
+		t.Fatalf("registry mirrors (captures=%d replays=%d) disagree with TraceCounters %+v",
+			counters["exp.trace.captures"], counters["exp.trace.replays"], tc)
+	}
+
+	// GPU section: both runs used 8-SM configurations, so every SM's
+	// busy+idle must equal its cycle total, which must equal the run-wide
+	// simulated cycle count.
+	if tel.GPU.Cycles == 0 || tel.GPU.Launches == 0 {
+		t.Fatalf("GPU section empty: %+v", tel.GPU)
+	}
+	if len(tel.GPU.SMs) != cfgA.NumSMs {
+		t.Fatalf("got %d SM reports, want %d", len(tel.GPU.SMs), cfgA.NumSMs)
+	}
+	for _, sm := range tel.GPU.SMs {
+		if sm.Busy+sm.Idle != sm.Cycles {
+			t.Fatalf("sm %d: busy %d + idle %d != cycles %d", sm.SM, sm.Busy, sm.Idle, sm.Cycles)
+		}
+		if sm.Cycles != tel.GPU.Cycles {
+			t.Fatalf("sm %d: cycles %d != total %d (homogeneous SM counts)", sm.SM, sm.Cycles, tel.GPU.Cycles)
+		}
+	}
+
+	// Benchmark rows: the capture and the replay were the only executed
+	// characterizations, both of the same instance.
+	if len(tel.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %+v, want one instance", tel.Benchmarks)
+	}
+	br := tel.Benchmarks[0]
+	wantID := b.Abbrev + "@" + sizes.Test.String()
+	if br.Bench != wantID || br.Runs != 2 || br.WallNs == 0 || br.Cycles == 0 {
+		t.Fatalf("benchmark row = %+v, want bench %s with 2 runs and nonzero wall/cycles", br, wantID)
+	}
+
+	// CPU section: the profile pass traced every workload.
+	if tel.CPU.Workloads != uint64(len(workloads.All())) {
+		t.Fatalf("cpu workloads = %d, want %d", tel.CPU.Workloads, len(workloads.All()))
+	}
+	if tel.CPU.TraceEvents == 0 || tel.CPU.TraceBatches == 0 {
+		t.Fatalf("cpu pipeline counters empty: %+v", tel.CPU)
+	}
+	if tel.CPU.SweepProbes == 0 || tel.CPU.SweepProbes > tel.CPU.SweepAccesses {
+		t.Fatalf("sweep probes %d out of range (accesses %d)", tel.CPU.SweepProbes, tel.CPU.SweepAccesses)
+	}
+
+	// Runner section.
+	if tel.Workers != 2 || tel.WallNs == 0 || counters["runner.tasks"] != 2 {
+		t.Fatalf("runner telemetry: workers=%d wall=%d tasks=%d", tel.Workers, tel.WallNs, counters["runner.tasks"])
+	}
+	if tel.Utilization <= 0 || tel.Utilization > 1 {
+		t.Fatalf("utilization = %v, want (0, 1]", tel.Utilization)
+	}
+
+	// The report must round-trip as JSON and render as text.
+	js, err := tel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Telemetry
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.GPU.Cycles != tel.GPU.Cycles || back.Trace != tel.Trace {
+		t.Fatal("JSON round trip changed the report")
+	}
+	if tel.Render() == "" {
+		t.Fatal("empty text rendering")
+	}
+}
+
+// TestTelemetryWithoutRegistry pins that a Context without a registry
+// still builds an (empty-sectioned) report rather than crashing — the
+// no-op default must hold end to end.
+func TestTelemetryWithoutRegistry(t *testing.T) {
+	ctx := NewContext()
+	ctx.Size = sizes.Test
+	ctx.Check = false
+	b := kernels.All()[0]
+	if _, err := ctx.GPU(b, gpusim.Base8SM()); err != nil {
+		t.Fatal(err)
+	}
+	tel := BuildTelemetry(ctx, nil)
+	if tel.GPU.Cycles != 0 || len(tel.GPU.SMs) != 0 || len(tel.Benchmarks) != 0 {
+		t.Fatalf("no-registry report should have empty typed sections: %+v", tel)
+	}
+	if _, err := tel.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

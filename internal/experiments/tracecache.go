@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 )
 
 // DefaultTraceCacheBytes is the trace cache's byte cap when the Context
@@ -41,6 +42,14 @@ type traceCache struct {
 	clock    uint64
 	entries  []*traceEntry
 	counters TraceCounters
+
+	// Registry mirrors of the decision counters (nil instruments — free
+	// no-ops — when the cache was built without a registry). TraceCounters
+	// stays the authoritative snapshot; the mirrors exist so -debug-addr
+	// shows cache behavior live, mid-sweep.
+	obsCaptures, obsReplays, obsFallbacks *obs.Counter
+	obsEvictions, obsUncacheable          *obs.Counter
+	obsBytes                              *obs.Gauge
 }
 
 type traceEntry struct {
@@ -49,11 +58,19 @@ type traceEntry struct {
 	lastUse uint64
 }
 
-func newTraceCache(capBytes int64) *traceCache {
+func newTraceCache(capBytes int64, r *obs.Registry) *traceCache {
 	if capBytes == 0 {
 		capBytes = DefaultTraceCacheBytes
 	}
-	return &traceCache{capBytes: capBytes}
+	return &traceCache{
+		capBytes:       capBytes,
+		obsCaptures:    r.Counter("exp.trace.captures"),
+		obsReplays:     r.Counter("exp.trace.replays"),
+		obsFallbacks:   r.Counter("exp.trace.fallbacks"),
+		obsEvictions:   r.Counter("exp.trace.evictions"),
+		obsUncacheable: r.Counter("exp.trace.uncacheable"),
+		obsBytes:       r.Gauge("exp.trace.cache_bytes"),
+	}
 }
 
 // lookup returns a cached trace for the benchmark instance (benchmark at
@@ -78,6 +95,7 @@ func (tc *traceCache) lookup(id traceID, cfg *gpusim.Config, strict bool) (rt *g
 		}
 		e.lastUse = tc.clock
 		tc.counters.Replays++
+		tc.obsReplays.Inc()
 		return e.rt, ""
 	}
 	return nil, fallback
@@ -89,8 +107,10 @@ func (tc *traceCache) noteCapture(fallback bool) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	tc.counters.Captures++
+	tc.obsCaptures.Inc()
 	if fallback {
 		tc.counters.Fallbacks++
+		tc.obsFallbacks.Inc()
 	}
 }
 
@@ -104,6 +124,7 @@ func (tc *traceCache) insert(id traceID, rt *gpusim.RunTrace) (evicted []string,
 	defer tc.mu.Unlock()
 	if size > tc.capBytes {
 		tc.counters.Uncacheable++
+		tc.obsUncacheable.Inc()
 		return nil, false
 	}
 	tc.clock++
@@ -120,8 +141,10 @@ func (tc *traceCache) insert(id traceID, rt *gpusim.RunTrace) (evicted []string,
 		tc.entries = append(tc.entries[:lru], tc.entries[lru+1:]...)
 		tc.bytes -= e.rt.Bytes()
 		tc.counters.Evictions++
+		tc.obsEvictions.Inc()
 		evicted = append(evicted, e.id.String())
 	}
+	tc.obsBytes.Set(tc.bytes)
 	return evicted, true
 }
 

@@ -34,7 +34,7 @@ func TestTraceCacheLRUEviction(t *testing.T) {
 	rt := captureSmall(t, "BP")
 	size := rt.Bytes()
 	// Cap that holds exactly two copies.
-	tc := newTraceCache(2 * size)
+	tc := newTraceCache(2*size, nil)
 
 	if evicted, cached := tc.insert(tid("A"), rt); !cached || len(evicted) != 0 {
 		t.Fatalf("first insert: cached=%v evicted=%v", cached, evicted)
@@ -67,7 +67,7 @@ func TestTraceCacheLRUEviction(t *testing.T) {
 
 func TestTraceCacheUncacheable(t *testing.T) {
 	rt := captureSmall(t, "BP")
-	tc := newTraceCache(rt.Bytes() - 1) // too small for the trace
+	tc := newTraceCache(rt.Bytes()-1, nil) // too small for the trace
 	evicted, cached := tc.insert(tid("A"), rt)
 	if cached || len(evicted) != 0 {
 		t.Fatalf("oversized insert: cached=%v evicted=%v", cached, evicted)
@@ -80,7 +80,7 @@ func TestTraceCacheUncacheable(t *testing.T) {
 
 func TestTraceCacheFallbackReason(t *testing.T) {
 	rt := captureSmall(t, "BP")
-	tc := newTraceCache(0)
+	tc := newTraceCache(0, nil)
 	tc.insert(tid("A"), rt)
 	// The reference interpreter can never replay, so the lookup must miss
 	// and surface the reason.
@@ -99,7 +99,7 @@ func TestTraceCacheFallbackReason(t *testing.T) {
 
 func TestTraceCacheStrictPlacement(t *testing.T) {
 	rt := captureSmall(t, "BP") // captured under Base (28 SMs)
-	tc := newTraceCache(0)
+	tc := newTraceCache(0, nil)
 	tc.insert(tid("A"), rt)
 	cfg := gpusim.Base8SM()
 	if got, _ := tc.lookup(tid("A"), &cfg, false); got == nil {
@@ -120,7 +120,7 @@ func TestTraceCacheStrictPlacement(t *testing.T) {
 // configurations are identical.
 func TestTraceCacheKeyedBySize(t *testing.T) {
 	rt := captureSmall(t, "BP")
-	tc := newTraceCache(0)
+	tc := newTraceCache(0, nil)
 	tc.insert(traceID{bench: "BP", size: sizes.Test}, rt)
 	base := gpusim.Base()
 	if got, reason := tc.lookup(traceID{bench: "BP", size: sizes.Large}, &base, false); got != nil {
@@ -132,7 +132,7 @@ func TestTraceCacheKeyedBySize(t *testing.T) {
 }
 
 func TestDefaultTraceCacheCap(t *testing.T) {
-	tc := newTraceCache(0)
+	tc := newTraceCache(0, nil)
 	if tc.capBytes != DefaultTraceCacheBytes {
 		t.Fatalf("capBytes = %d, want DefaultTraceCacheBytes", tc.capBytes)
 	}

@@ -27,6 +27,13 @@ type fifoDRAM struct {
 	line    uint64
 	bytes   uint64
 	txns    uint64
+
+	// lo, when non-nil, receives queue-occupancy telemetry: the backlog
+	// of a channel at enqueue time (freeAt − now, in cycles) is the FIFO
+	// model's measure of how deep the memory pipeline is running. access
+	// is only ever called from the serialized pricing path (sequential
+	// loop or phase B), so plain fields suffice.
+	lo *launchObs
 }
 
 var _ dramModel = (*fifoDRAM)(nil)
@@ -45,6 +52,15 @@ func (d *fifoDRAM) access(now, addr uint64) uint64 {
 	start := d.freeAt[ch]
 	if now > start {
 		start = now
+	}
+	if lo := d.lo; lo != nil {
+		lo.dramAccesses++
+		if backlog := start - now; backlog > 0 {
+			lo.dramBacklog += backlog
+			if backlog > lo.dramMaxBacklog {
+				lo.dramMaxBacklog = backlog
+			}
+		}
 	}
 	d.freeAt[ch] = start + uint64(d.service+0.5)
 	d.bytes += d.line

@@ -30,6 +30,12 @@ type GPU struct {
 	// capture, when non-nil, records the functional half of every launch
 	// into a RunTrace for later replay (trace.go).
 	capture *TraceBuilder
+
+	// obsC, when non-nil, is the cached set of registry instruments the
+	// per-launch telemetry flush writes (obs.go in this package). Nil by
+	// default: the event loop then skips all telemetry collection, at the
+	// cost of one predictable branch per collection site.
+	obsC *gpuCounters
 }
 
 type smCaches struct {
@@ -132,6 +138,10 @@ func (g *GPU) runLaunch(rss []*runSpec) error {
 		ms:     newMemSubsystem(&g.cfg, g.l2, d, g.sharing),
 		issueC: g.cfg.issueCycles(),
 	}
+	if g.obsC != nil {
+		ls.lo = newLaunchObs(g.cfg.NumSMs)
+		d.lo = ls.lo
+	}
 	for _, sp := range rss {
 		if err := sp.launch.Validate(); err != nil {
 			return err
@@ -171,6 +181,9 @@ func (g *GPU) runLaunch(rss []*runSpec) error {
 	g.Stats.DRAMBytes += dramBytes
 	g.Stats.DRAMTxns += dramTxns
 	g.accumCacheDeltas(snap)
+	if g.obsC != nil {
+		g.obsC.flushObs(ls.lo, ls.now)
+	}
 
 	for _, sp := range ls.specs {
 		g.Stats.Launches++

@@ -186,6 +186,11 @@ type launchState struct {
 	// issueC caches cfg.issueCycles(): the division would otherwise sit on
 	// the per-instruction path.
 	issueC uint64
+
+	// lo, when non-nil, tallies this launch's telemetry (obs.go). The
+	// event loops hoist it into a local so the disabled path costs one
+	// predictable branch per collection site.
+	lo *launchObs
 }
 
 // fill assigns pending CTAs round-robin across kernels to an SM while its
@@ -251,10 +256,20 @@ func (ls *launchState) fill(sm *smRT) {
 // clock jumps to the next event.
 func (ls *launchState) run() error {
 	var step issuedStep
+	lo := ls.lo
 	for ls.pending > 0 {
 		issued := false
-		for _, sm := range ls.sms {
-			if sm.issueFreeAt > ls.now || sm.skipUntil > ls.now {
+		for si, sm := range ls.sms {
+			if sm.issueFreeAt > ls.now {
+				if lo != nil {
+					lo.stallPort[si]++
+				}
+				continue
+			}
+			if sm.skipUntil > ls.now {
+				if lo != nil {
+					lo.stallSkip[si]++
+				}
 				continue
 			}
 			ok, err := ls.execOne(sm, ls.sink, &step)
@@ -264,6 +279,9 @@ func (ls *launchState) run() error {
 				panic(err)
 			}
 			if !ok {
+				if lo != nil {
+					lo.stallWarp[si]++
+				}
 				continue
 			}
 			if step.mem {
@@ -271,6 +289,9 @@ func (ls *launchState) run() error {
 			}
 			ls.settleTiming(sm, &step)
 			ls.maybeRetire(sm, step.w)
+			if lo != nil {
+				lo.busy[si]++
+			}
 			issued = true
 		}
 		if issued {
@@ -283,6 +304,9 @@ func (ls *launchState) run() error {
 		}
 		if next <= ls.now {
 			next = ls.now + 1
+		}
+		if lo != nil {
+			lo.skipAhead += next - ls.now - 1
 		}
 		ls.now = next
 	}

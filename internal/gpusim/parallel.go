@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/isa"
 )
@@ -107,11 +108,24 @@ func (ls *launchState) runParallel(workers int) error {
 		execErr error // functional fault: re-panicked, as in run()
 	)
 
+	// Telemetry tallies go into per-SM slots of ls.lo: worker wid owns SM
+	// s's slot exactly when it owns the SM, so phase A stays race-free.
+	lo := ls.lo
+
 	phaseA := func(wid int) {
 		for s := wid; s < nsm; s += workers {
 			sm := ls.sms[s]
 			issuedSM[s] = false
 			if sm.issueFreeAt > ls.now {
+				if lo != nil {
+					lo.stallPort[s]++
+				}
+				continue
+			}
+			if lo != nil && sm.skipUntil > ls.now {
+				// execOne would classify this as "no warp"; record the
+				// cheaper skip-bound reason before it gets the chance.
+				lo.stallSkip[s]++
 				continue
 			}
 			ok, err := ls.execOne(sm, shards[wid], &steps[s])
@@ -120,10 +134,16 @@ func (ls *launchState) runParallel(workers int) error {
 				continue
 			}
 			if !ok {
+				if lo != nil {
+					lo.stallWarp[s]++
+				}
 				continue
 			}
 			if !steps[s].mem {
 				ls.settleTiming(sm, &steps[s])
+			}
+			if lo != nil {
+				lo.busy[s]++
 			}
 			issuedSM[s] = true
 		}
@@ -148,7 +168,20 @@ func (ls *launchState) runParallel(workers int) error {
 	var sense int32
 	for {
 		phaseA(0)
-		bar.wait(&sense)
+		// The coordinator times its own phase-A barrier wait — how long it
+		// idles for the slowest shard — on a 1-in-barrierSample sampling
+		// schedule, extrapolated at flush. Sampling keeps the clock reads
+		// (two syscalls-ish each) off the common per-cycle path.
+		if lo != nil && lo.barrierCrossings%barrierSample == 0 {
+			t0 := time.Now()
+			bar.wait(&sense)
+			lo.barrierWaitNs += uint64(time.Since(t0)) * barrierSample
+		} else {
+			bar.wait(&sense)
+		}
+		if lo != nil {
+			lo.barrierCrossings++
+		}
 		// Exclusive window: only the coordinator touches launch state here.
 		issued := false
 		for s := 0; s < nsm; s++ {
@@ -182,6 +215,9 @@ func (ls *launchState) runParallel(workers int) error {
 			} else if next <= ls.now {
 				ls.now++
 			} else {
+				if lo != nil {
+					lo.skipAhead += next - ls.now - 1
+				}
 				ls.now = next
 			}
 		}

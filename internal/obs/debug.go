@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugRegistry is the registry the process-wide expvar "obs" variable
+// snapshots. expvar names can be published exactly once per process, so
+// ServeDebug swaps the pointer instead of re-publishing.
+var (
+	debugRegistry atomic.Pointer[Registry]
+	publishOnce   sync.Once
+)
+
+// DebugServer is a live debug endpoint: expvar JSON (including the
+// registry under the "obs" key) at /debug/vars and the standard pprof
+// handlers under /debug/pprof/.
+type DebugServer struct {
+	ln   net.Listener
+	quit chan struct{}
+	once sync.Once
+}
+
+// ServeDebug starts a debug HTTP server on addr (host:port; port 0 picks
+// an ephemeral port) exposing the registry. It returns once the listener
+// is bound, serving in a background goroutine; Addr reports the bound
+// address. GET /debug/quit closes the Quit channel so callers holding the
+// process open for scraping (cmd/experiments -debug-hold) know to exit.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	debugRegistry.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return debugRegistry.Load().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	s := &DebugServer{ln: ln, quit: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/quit", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "quitting")
+		s.once.Do(func() { close(s.quit) })
+	})
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	return s, nil
+}
+
+// Addr is the server's bound address (useful with port 0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Quit is closed when a client requests /debug/quit.
+func (s *DebugServer) Quit() <-chan struct{} { return s.quit }
+
+// Close stops the listener.
+func (s *DebugServer) Close() error { return s.ln.Close() }

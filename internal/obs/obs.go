@@ -1,0 +1,421 @@
+// Package obs is the repository's dependency-free instrumentation layer:
+// a registry of named atomic counters, gauges and fixed-layout histograms,
+// labeled timer spans, and a topic-keyed event sink. Every subsystem — the
+// GPU event loop, the trace cache, the concurrent runner, the CPU
+// characterization pipeline — reports through it, and the registry is
+// surfaced as expvar JSON (-debug-addr), live progress (-progress) and the
+// per-run telemetry report (results/telemetry.json).
+//
+// The layer is built to cost nothing when disabled: every type is nil-safe,
+// so instrumented hot paths guard with a single predictable branch (or
+// none — a method on a nil *Counter is a no-op), and no operation on a nil
+// registry or nil instrument allocates. Hot loops are expected to hold the
+// *Counter/*Gauge/*Histogram pointers they need; name lookup on the
+// registry takes a mutex and belongs at setup or flush points only.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value. The zero value is ready to use;
+// all methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the histogram's fixed power-of-two layout: bucket 0
+// counts observations of exactly 0 and bucket i counts values in
+// [2^(i-1), 2^i). 64 buckets cover the whole uint64 range, so every
+// histogram shares one layout and Observe finds its bucket with a single
+// bit-length instruction — no per-histogram bound tables, no scans.
+const histBuckets = 65
+
+// Histogram accumulates uint64 observations (durations in nanoseconds,
+// byte sizes, queue depths, ...) into fixed power-of-two buckets plus a
+// running sum. The zero value is ready to use; all methods are no-ops on
+// a nil receiver.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (zero with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Span is an in-flight timed section feeding a histogram of nanosecond
+// durations. The zero Span (from a nil registry) is a no-op and never
+// reads the clock.
+type Span struct {
+	h  *Histogram
+	c  *Counter
+	t0 time.Time
+}
+
+// End records the span's duration.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	d := time.Since(s.t0)
+	s.h.Observe(uint64(d))
+	s.c.Add(uint64(d))
+}
+
+// EventSink receives one formatted event line; format/args follow
+// fmt.Sprintf conventions and sinks decide how (and whether) to render.
+type EventSink func(format string, args ...any)
+
+// Registry is a process-wide namespace of instruments. A nil *Registry is
+// the no-op default: every method is safe to call and returns nil
+// instruments whose operations cost one branch and allocate nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	sinkMu sync.RWMutex
+	sinks  map[string][]EventSink
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil on
+// a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span starts a labeled timer span: its duration lands in the "<name>.ns"
+// histogram and accumulates into the "<name>.total_ns" counter. On a nil
+// registry the returned Span is a free no-op.
+func (r *Registry) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name + ".ns"), c: r.Counter(name + ".total_ns"), t0: time.Now()}
+}
+
+// OnEvent subscribes a sink to a topic's events.
+func (r *Registry) OnEvent(topic string, sink EventSink) {
+	if r == nil || sink == nil {
+		return
+	}
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	if r.sinks == nil {
+		r.sinks = make(map[string][]EventSink)
+	}
+	r.sinks[topic] = append(r.sinks[topic], sink)
+}
+
+// Eventf delivers one event line to the topic's sinks; with no sinks (or
+// a nil registry) it is a no-op that never formats.
+func (r *Registry) Eventf(topic, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.sinkMu.RLock()
+	sinks := r.sinks[topic]
+	r.sinkMu.RUnlock()
+	for _, sink := range sinks {
+		sink(format, args...)
+	}
+}
+
+// Name renders a labeled instrument name: Name("exp.gpu.cycles", "bench",
+// "BFS@medium") is "exp.gpu.cycles{bench=BFS@medium}". Label keys appear
+// in argument order; values must not contain '{', '}' or ','.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseName splits a labeled name into its base and label map (nil when
+// unlabeled) — the inverse of Name.
+func ParseName(name string) (base string, labels map[string]string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:open]
+	labels = make(map[string]string)
+	for _, pair := range strings.Split(name[open+1:len(name)-1], ",") {
+		if eq := strings.IndexByte(pair, '='); eq >= 0 {
+			labels[pair[:eq]] = pair[eq+1:]
+		}
+	}
+	return base, labels
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time. Buckets hold
+// only occupied buckets, in ascending bound order; Le is the bucket's
+// exclusive upper bound (values in [Le/2, Le), with Le 1 counting exact
+// zeros).
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one occupied histogram bucket.
+type BucketCount struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// snapshot captures the histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := ^uint64(0)
+		if i < 64 {
+			le = uint64(1) << i
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Le: le, N: n})
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Counters returns a point-in-time copy of every counter (empty on a nil
+// registry).
+func (r *Registry) Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of every gauge (empty on a nil
+// registry).
+func (r *Registry) Gauges() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Snapshot renders every instrument into a JSON-marshalable map: counters
+// as uint64, gauges as int64, histograms as HistogramSnapshot. It is what
+// the -debug-addr expvar endpoint serves.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// Dump renders the snapshot as sorted "name value" lines — the debugging
+// view behind telemetry.txt's raw section.
+func (r *Registry) Dump() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		switch v := snap[name].(type) {
+		case HistogramSnapshot:
+			fmt.Fprintf(&b, "%s count=%d sum=%d\n", name, v.Count, v.Sum)
+		default:
+			fmt.Fprintf(&b, "%s %v\n", name, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles owns a command's -cpuprofile/-memprofile lifecycle. Every
+// binary used to duplicate this setup; they now share it:
+//
+//	prof := obs.ProfileFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// Stop is idempotent, so error paths that os.Exit (skipping defers) can
+// call it explicitly first.
+type Profiles struct {
+	cpu, mem *string
+	cpuFile  *os.File
+	stopped  bool
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the flag set and
+// returns the lifecycle handle.
+func ProfileFlags(fs *flag.FlagSet) *Profiles {
+	return &Profiles{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after
+// flag.Parse.
+func (p *Profiles) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes both profiles: it ends CPU profiling and, if -memprofile
+// was given, records a heap profile after a final GC so the numbers
+// reflect live allocations, not collectable garbage. Safe to call more
+// than once; only the first call writes.
+func (p *Profiles) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+	}
+	if *p.mem == "" {
+		return
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}

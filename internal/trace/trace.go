@@ -10,6 +10,8 @@ package trace
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Kind classifies a modeled instruction.
@@ -105,7 +107,14 @@ type Harness struct {
 	// turn when interleaving a parallel region.
 	Granularity int
 
+	// Events and Batches count the records and batches delivered to the
+	// consumers — plain fields, since a harness is single-goroutine by
+	// contract. The core layer folds them into its registry per workload.
+	Events  uint64
+	Batches uint64
+
 	serialBlock *CodeBlock
+	batchHist   *obs.Histogram
 }
 
 // NewHarness builds a harness for the given thread count.
@@ -244,10 +253,20 @@ func putBuf(b []Event) {
 	bufPool.Put(&b)
 }
 
+// SetObs attaches a metrics registry: delivered batch sizes then feed the
+// cpu.trace.batch_size histogram (Events/Batches totals stay plain fields
+// either way).
+func (h *Harness) SetObs(r *obs.Registry) {
+	h.batchHist = r.Histogram("cpu.trace.batch_size")
+}
+
 func (h *Harness) emitBatch(batch []Event) {
 	if len(batch) == 0 {
 		return
 	}
+	h.Events += uint64(len(batch))
+	h.Batches++
+	h.batchHist.Observe(uint64(len(batch)))
 	for _, cons := range h.consumers {
 		cons.Events(batch)
 	}
