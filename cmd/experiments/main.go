@@ -57,6 +57,8 @@ func main() {
 	nocheck := flag.Bool("nocheck", false, "skip functional validation of GPU kernels")
 	outDir := flag.String("out", "", "directory to write one <id>.txt per artifact (optional)")
 	parallel := flag.Int("parallel", 1, "experiment worker count; 0 means GOMAXPROCS")
+	shardWorkers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
+	epoch := flag.Int("epoch", 0, "cycles between shard synchronizations with -workers > 1; 1 = lockstep (bit-identical)")
 	replay := flag.Bool("replay", true, "trace each benchmark once and replay it for further configs")
 	tracelog := flag.Bool("tracelog", false, "log trace capture/replay/fallback decisions to stderr")
 	progress := flag.Bool("progress", false, "report live progress (done/total, percent, ETA) on stderr")
@@ -123,6 +125,8 @@ func main() {
 	ctx.Replay = *replay
 	ctx.Size = size
 	ctx.ScalingClasses = scalingClasses
+	ctx.ShardWorkers = *shardWorkers
+	ctx.EpochCycles = *epoch
 	ctx.Obs = obs.New()
 	if *tracelog {
 		ctx.Obs.OnEvent("trace", func(format string, args ...any) {

@@ -12,6 +12,7 @@
 //	rodiniasim -replay=false        # re-execute kernels for every config of a sweep
 //	rodiniasim -nocheck             # skip functional validation
 //	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
+//	rodiniasim -workers 4 -epoch 64 # sync shards per 64-cycle epoch, not per cycle
 //	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
 //	rodiniasim -debug-addr 127.0.0.1:0 # serve live expvar metrics + pprof
 //	rodiniasim -cpuprofile cpu.prof # write a pprof CPU profile of the run
@@ -79,6 +80,7 @@ func main() {
 	nocheck := flag.Bool("nocheck", false, "skip functional validation against the CPU reference")
 	perKernel := flag.Bool("perkernel", false, "also print a per-kernel statistics breakdown")
 	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
+	epoch := flag.Int("epoch", 0, "cycles between shard synchronizations with -workers > 1; 1 = lockstep (bit-identical)")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently; 0 means GOMAXPROCS")
 	debugAddr := flag.String("debug-addr", "", "serve expvar JSON and pprof on this host:port while running")
 	prof := obs.ProfileFlags(flag.CommandLine)
@@ -120,6 +122,7 @@ func main() {
 			os.Exit(2)
 		}
 		c.ShardWorkers = *workers
+		c.EpochCycles = *epoch
 		cfgs = append(cfgs, c)
 	}
 	cfg := cfgs[0]

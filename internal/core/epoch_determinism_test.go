@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/kernels"
+	"repro/internal/sizes"
+)
+
+// TestEpochSimulationDeterminism sweeps the epoch-parallel simulator
+// over the full 12-benchmark suite — every epoch length × worker count,
+// live execution and trace replay — and asserts byte-identical Stats
+// against the sequential oracle. This is the end-to-end contract behind
+// Config.EpochCycles: the epoch engine's parking, store-visibility
+// gating and replayed dispatch must be invisible in every statistic the
+// paper's figures are built from. Runs at the test size class so the
+// whole sweep (12 benchmarks × 12 parallel legs plus capture) stays
+// CI-sized; the full-size lockstep sweep lives in
+// TestParallelSimulationDeterminism.
+func TestEpochSimulationDeterminism(t *testing.T) {
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			seq, err := CharacterizeGPUAt(b, sizes.Test, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rt, err := CaptureGPUAt(b, sizes.Test, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, epoch := range []int{1, 8, 64} {
+				for _, workers := range []int{2, 3} {
+					cfg := gpusim.Base()
+					cfg.ShardWorkers = workers
+					cfg.EpochCycles = epoch
+
+					live, err := CharacterizeGPUAt(b, sizes.Test, cfg, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := json.Marshal(live)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("live workers=%d epoch=%d: stats diverge from sequential\n got: %s\nwant: %s",
+							workers, epoch, got, want)
+					}
+
+					rep, err := ReplayGPU(b, cfg, rt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err = json.Marshal(rep)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("replay workers=%d epoch=%d: stats diverge from sequential\n got: %s\nwant: %s",
+							workers, epoch, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -130,6 +130,16 @@ func TestGPUReplayDifferential(t *testing.T) {
 				if !reflect.DeepEqual(gotShard, live) {
 					t.Errorf("%s: sharded replay diverges from live execution\n got: %+v\nwant: %+v", cfg.Name, gotShard, live)
 				}
+				// And the epoch-parallel engine, which replay runs at full
+				// epoch length (no visibility gate on trace-driven warps).
+				shard.EpochCycles = 64
+				gotEpoch, err := core.ReplayGPU(b, shard, rt)
+				if err != nil {
+					t.Fatalf("%s epoch replay: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(gotEpoch, live) {
+					t.Errorf("%s: epoch replay diverges from live execution\n got: %+v\nwant: %+v", cfg.Name, gotEpoch, live)
+				}
 			}
 		})
 	}

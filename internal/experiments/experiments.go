@@ -60,6 +60,16 @@ type Context struct {
 	// pass yields profiles identical to a serial one.
 	Workers int
 
+	// ShardWorkers and EpochCycles, when > 0, are stamped onto every
+	// configuration characterized through the context: SMs shard across
+	// that many goroutines inside each simulation, synchronizing once
+	// per EpochCycles-cycle epoch (1 = per-cycle lockstep). Results are
+	// bit-identical whatever the values — they are host-side execution
+	// knobs, not device parameters — so memoization ignores them, just
+	// as it ignores configuration names.
+	ShardWorkers int
+	EpochCycles  int
+
 	// Replay enables trace-once/replay-many characterization: the first
 	// run of a benchmark records a functional trace, and later runs under
 	// other configurations drive the timing model from it instead of
@@ -158,8 +168,18 @@ func (c *Context) GPU(b *kernels.Benchmark, cfg gpusim.Config) (*gpusim.Stats, e
 // GPUAt is GPU at an explicit size class; the class is part of the memo
 // key, so the same benchmark at different sizes never shares a result.
 func (c *Context) GPUAt(b *kernels.Benchmark, size sizes.Class, cfg gpusim.Config) (*gpusim.Stats, error) {
+	if c.ShardWorkers > 0 {
+		cfg.ShardWorkers = c.ShardWorkers
+	}
+	if c.EpochCycles > 0 {
+		cfg.EpochCycles = c.EpochCycles
+	}
 	key := gpuKey{bench: b.Abbrev, size: size, cfg: cfg}
 	key.cfg.Name = ""
+	// Execution knobs don't affect Stats (bit-identity is pinned by the
+	// determinism tests), so results memoize across them.
+	key.cfg.ShardWorkers = 0
+	key.cfg.EpochCycles = 0
 	c.mu.Lock()
 	if c.gpuCalls == nil {
 		c.gpuCalls = make(map[gpuKey]*gpuCall)

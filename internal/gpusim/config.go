@@ -70,6 +70,18 @@ type Config struct {
 	// faults on atomics); no Rodinia kernel does.
 	ShardWorkers int
 
+	// EpochCycles is a host-side simulation knob for the shard-parallel
+	// path (ShardWorkers > 1): workers advance their SMs up to this many
+	// cycles between coordinator synchronizations instead of one, with
+	// every memory-system interaction buffered per SM and replayed in
+	// global issue order at the epoch boundary (epoch.go). Results stay
+	// bit-identical to the sequential simulator for every value; trace
+	// replay benefits most (large epochs run unthrottled), while live
+	// execution conservatively stalls SMs at the store-visibility
+	// watermark. 0 and 1 select the per-cycle lockstep barrier. Ignored
+	// under ReferenceInterp, whose warps the epoch engine cannot inspect.
+	EpochCycles int
+
 	// ReferenceInterp is a host-side validation knob: when set, warps run
 	// on the retained per-thread reference interpreter (isa.RefWarp)
 	// instead of the optimized flat-register one. Results are required to
@@ -95,6 +107,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("gpusim: SharedBanks = %d", c.SharedBanks)
 	case c.ShardWorkers < 0:
 		return fmt.Errorf("gpusim: ShardWorkers = %d", c.ShardWorkers)
+	case c.EpochCycles < 0:
+		return fmt.Errorf("gpusim: EpochCycles = %d", c.EpochCycles)
 	}
 	return nil
 }

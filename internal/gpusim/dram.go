@@ -13,6 +13,12 @@ type dramModel interface {
 	// drainedBy returns the cycle by which every channel is idle, at
 	// least now. A launch is not over until buffered stores drain.
 	drainedBy(now uint64) uint64
+	// minAccess is a lower bound on access(now, addr) - now for any
+	// state and address: no transaction completes in fewer cycles. The
+	// epoch-parallel simulator derives warp park bounds from it, so the
+	// bound must hold unconditionally (it may be loose, never tight the
+	// wrong way).
+	minAccess() uint64
 	// traffic reports the total bytes and transactions carried.
 	traffic() (bytes, txns uint64)
 }
@@ -66,6 +72,12 @@ func (d *fifoDRAM) access(now, addr uint64) uint64 {
 	d.bytes += d.line
 	d.txns++
 	return d.freeAt[ch] + d.latency
+}
+
+// minAccess: a channel free at enqueue still serves the line (service
+// cycles, as rounded in access) and traverses the pipe (latency).
+func (d *fifoDRAM) minAccess() uint64 {
+	return uint64(d.service+0.5) + d.latency
 }
 
 func (d *fifoDRAM) drainedBy(now uint64) uint64 {

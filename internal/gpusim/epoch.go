@@ -1,0 +1,578 @@
+package gpusim
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// The epoch-parallel launch path (Config.EpochCycles > 1) removes the
+// lockstep path's per-cycle barrier: each worker advances its SMs up to
+// EpochCycles cycles on SM-local state alone, buffering every step that
+// needs the launch-global memory system — and every deferred device
+// store — into a per-SM log with its issue cycle. At the epoch boundary
+// the coordinator merges the logs and replays them in (cycle, SM index)
+// order through the caches, DRAM channels, sharing tracker and store
+// buffers, which is exactly the order the sequential loop visits them,
+// so results stay bit-identical while barrier crossings drop from one
+// per cycle to one per epoch round.
+//
+// What makes running ahead safe:
+//
+//   - Memory pricing. A warp that issues a load cannot know its latency
+//     until the coordinator replays the access (caches and DRAM channels
+//     are launch-global). The warp parks: it blocks, and the SM never
+//     advances past the warp's parkBound — the issue cycle plus the
+//     memory subsystem's per-space λ, a proven lower bound on any latency
+//     priceLines can return (memsys.go). When the coordinator prices the
+//     load it computes the true readyAt, which λ guarantees is at or past
+//     every cycle the SM already simulated, so no issue opportunity was
+//     missed. Global/local stores need no park — their warp latency is
+//     architecturally ALULatency — but their lines still replay in order
+//     for bandwidth, cache state and the store's visibility point.
+//   - Store visibility. Functional stores to device memory sit in the
+//     SM's isa.StoreBuffer (as on the lockstep path), tagged by event
+//     with their count; the coordinator flushes exactly the prefix
+//     belonging to each replayed event. A load therefore observes
+//     precisely the stores from cycles before its own, launch-wide. In
+//     replay mode (trace-driven warps) functional memory is never read,
+//     so epochs run at full length unconditionally. In live mode a
+//     conservative gate keeps reads exact: before issuing a warp whose
+//     next instruction reads a space some live kernel stores to, the SM
+//     checks that its clock has not passed the flush watermark F (the
+//     horizon of the last replayed round). Because F is the minimum of
+//     all SM clocks and clocks only advance, a gated SM's clock equals F
+//     exactly when the gate opens — every store from cycles < F is
+//     applied and every later store still buffered, which is the
+//     sequential memory image at that cycle.
+//   - Dispatch. Retiring the last warp of a CTA frees SM resources and
+//     pulls new CTAs from the launch-wide dispatch cursors. The SM
+//     freezes (held) at the retire cycle and logs an event; the
+//     coordinator performs the retire and refill at the recorded cycle
+//     during replay, in global order, so CTA placement matches the
+//     sequential schedule. Partial retires (other warps of the CTA still
+//     live) touch only CTA-local state and happen in place.
+//   - Faults. A functional fault freezes the SM and logs the error; the
+//     coordinator surfaces the fault of the globally earliest (cycle,
+//     SM) — the one the sequential loop would have hit — and discards
+//     the rest.
+//
+// The coordinator's horizon H is the minimum SM clock; events strictly
+// below H are complete (every SM has simulated past them) and replay in
+// global order. Rounds advance the shared target clock H+E, so a worker
+// whose SMs are frozen on parks still crosses the barrier and resumes
+// when their events are replayed.
+
+// epochEvent is one buffered step awaiting coordinator replay.
+type epochEvent struct {
+	kind    uint8
+	store   bool // evMem: priced as a store (global/local store ops)
+	parked  bool // evMem: this event parked its warp; replay must wake it
+	space   isa.Space
+	cycle   uint64  // issue cycle, global order key
+	w       *warpRT // evMem: issuing warp; evRetire: the exiting warp
+	cta     int     // evMem: CTA index for the sharing tracker
+	off     int     // evMem: coalesced line range in the SM's slab
+	end     int
+	nStores int   // deferred stores to flush with this event
+	err     error // evFault
+}
+
+const (
+	evMem    uint8 = iota // replay lines through the memory system
+	evFlush               // stores outside a shared-memory step (param space)
+	evRetire              // full-CTA retire: dispatch cursors + refill
+	evFault               // functional fault at the recorded cycle
+)
+
+// epochSM is one SM's epoch-execution state: its local clock, its event
+// log, and the freeze conditions that stop it from running ahead.
+type epochSM struct {
+	sm  *smRT
+	now uint64 // next cycle this SM will simulate
+
+	queue []epochEvent // cycle-monotone event log; head is the replay cursor
+	head  int
+	slab  []uint64 // line storage backing queued evMem events
+
+	coal    coalescer // per-SM: ms.coal belongs to the serialized paths
+	step    issuedStep
+	parked  int  // warps blocked awaiting coordinator pricing
+	held    bool // frozen at a full retire or fault until replayed
+	gated   bool // frozen at the store-visibility watermark (live mode)
+	bufMark int  // store-buffer entries already attributed to events
+}
+
+// runEpoch executes the launch with SMs sharded across workers (worker w
+// owns SMs w, w+workers, …; the caller doubles as worker 0 and
+// coordinator), synchronizing once per epoch round instead of once per
+// cycle. Callers guarantee workers ≥ 2 and ≤ len(ls.sms), epoch ≥ 2.
+func (ls *launchState) runEpoch(workers, epoch int) error {
+	nsm := len(ls.sms)
+	if ls.pending == 0 {
+		return nil
+	}
+	shards := make([]statsSink, workers)
+	for w := range shards {
+		shards[w] = newStatsSink(&ls.g.cfg, len(ls.specs))
+	}
+
+	// Defer device stores per SM; CTAs already placed by the initial fill
+	// need their environments rewired.
+	for _, sm := range ls.sms {
+		sm.storeBuf = &isa.StoreBuffer{}
+		for _, w := range sm.warps {
+			w.cta.cta.Env.StoreBuf = sm.storeBuf
+		}
+	}
+
+	eps := make([]*epochSM, nsm)
+	for i, sm := range ls.sms {
+		eps[i] = &epochSM{sm: sm, coal: newCoalescer(&ls.g.cfg)}
+	}
+	gateMask := ls.epochGateMask()
+
+	var (
+		bar     = newSpinBarrier(workers)
+		wg      sync.WaitGroup
+		stopped bool  // written by the coordinator inside its exclusive window
+		runErr  error // deadlock: returned, as in run()
+		execErr error // functional fault: re-panicked, as in run()
+
+		// Shared clocks, written by the coordinator in its exclusive
+		// window and read by workers after the barrier (the barrier's
+		// atomics provide the happens-before edges).
+		flushedTo uint64          // F: every event below is replayed
+		target    = uint64(epoch) // workers advance toward this cycle
+	)
+	lo := ls.lo
+	if lo != nil {
+		lo.barrierWaitNs = make([]uint64, workers)
+	}
+
+	// Same sampled wait-time telemetry as the lockstep path; see
+	// runParallel. Epoch rounds are long, so sampling matters less here,
+	// but the shared schedule keeps the two paths comparable.
+	waitA := func(wid int, crossing uint64, sense *int32) {
+		if lo != nil && crossing%barrierSample == 0 {
+			t0 := time.Now()
+			bar.wait(sense)
+			d := uint64(time.Since(t0))
+			lo.barrierWaitNs[wid] += d * barrierSample
+			lo.waitHist.Observe(d)
+		} else {
+			bar.wait(sense)
+		}
+	}
+
+	phaseA := func(wid int) {
+		for s := wid; s < nsm; s += workers {
+			ls.advanceEpochSM(eps[s], s, shards[wid], gateMask, flushedTo, target)
+		}
+	}
+
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			var sense int32
+			for crossing := uint64(0); ; crossing++ {
+				phaseA(wid)
+				waitA(wid, crossing, &sense) // phase A done everywhere
+				bar.wait(&sense)             // coordinator's replay done
+				if stopped {
+					return
+				}
+			}
+		}(w)
+	}
+
+	var sense int32
+	for round := uint64(0); ; round++ {
+		phaseA(0)
+		waitA(0, round, &sense)
+		// Exclusive window: only the coordinator touches launch state here.
+		horizon := eps[0].now
+		for _, ep := range eps[1:] {
+			if ep.now < horizon {
+				horizon = ep.now
+			}
+		}
+		processed, finished := ls.replayEpochEvents(eps, horizon, &execErr)
+		if lo != nil {
+			lo.barrierCrossings++
+			lo.epochRounds++
+			lo.roundHist.Observe(horizon - flushedTo)
+		}
+		flushedTo = horizon
+		switch {
+		case execErr != nil || finished:
+			stopped = true
+		default:
+			if t := horizon + uint64(epoch); t > target {
+				target = t
+			}
+			// A round that replayed nothing with every SM free means the
+			// whole launch is between events: jump the target straight to
+			// the next locally-issuable cycle (the epoch counterpart of
+			// the sequential loop's nextEvent hop), or report deadlock if
+			// there is none.
+			if processed == 0 && epochAllFree(eps) {
+				next := blockedAt
+				for _, ep := range eps {
+					if n := smNextIssue(ep.sm, ep.now); n < next {
+						next = n
+					}
+				}
+				if next == blockedAt {
+					ls.now = horizon
+					runErr = ls.deadlock()
+					stopped = true
+				} else if t := next + uint64(epoch); t > target {
+					if lo != nil && next > horizon {
+						lo.skipAhead += next - horizon - 1
+					}
+					target = t
+				}
+			}
+		}
+		bar.wait(&sense)
+		if stopped {
+			break
+		}
+	}
+	wg.Wait()
+	if execErr != nil {
+		panic(execErr)
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	// Deterministic merge: shards in worker order, as on the lockstep path.
+	for w := 0; w < workers; w++ {
+		ls.sink.g.Merge(shards[w].g)
+		for i, sp := range ls.specs {
+			sp.kStats.Merge(shards[w].k[i])
+		}
+	}
+	ls.now = ls.dram.drainedBy(ls.now)
+	return nil
+}
+
+// advanceEpochSM runs one SM forward to the round's target cycle (or its
+// nearest freeze bound) on purely SM-local state, logging everything that
+// needs the launch-global memory system. Runs concurrently across shards;
+// it touches only the SM, its warps/CTAs, and the worker's stats shard.
+func (ls *launchState) advanceEpochSM(ep *epochSM, si int, sink statsSink, gateMask uint32, flushedTo, target uint64) {
+	if ep.held {
+		return
+	}
+	if ep.gated {
+		if ep.now > flushedTo {
+			return
+		}
+		ep.gated = false
+	}
+	sm := ep.sm
+	lo := ls.lo
+	limit := target
+	if ep.parked > 0 {
+		for _, w := range sm.warps {
+			if w.parked && w.parkBound < limit {
+				limit = w.parkBound
+			}
+		}
+	}
+	for ep.now < limit {
+		now := ep.now
+		if sm.issueFreeAt > now || sm.skipUntil > now {
+			// Port back-pressure or an empty scheduler scan: jump straight
+			// to the next locally-issuable cycle. pick mutates the cursor
+			// only on success, so eliding the unvisited cycles is
+			// schedule-exact.
+			next := smNextIssue(sm, now)
+			if next <= now {
+				next = now + 1
+			}
+			stop := next
+			if stop > limit {
+				stop = limit
+			}
+			if lo != nil {
+				if sm.issueFreeAt > now {
+					lo.stallPort[si] += stop - now
+				} else {
+					lo.stallSkip[si] += stop - now
+				}
+			}
+			ep.now = stop
+			continue
+		}
+		rr := sm.rr
+		w := ls.g.sched.pick(sm, now)
+		if w == nil {
+			if lo != nil {
+				lo.stallWarp[si]++
+			}
+			continue // pick recorded sm.skipUntil; next iteration jumps
+		}
+		if gateMask != 0 && now > flushedTo && gatedWarp(w, gateMask) {
+			// The warp would read a space with stores possibly in flight.
+			// Undo the pick (its only success side effect is the cursor)
+			// and freeze at now until the flush watermark catches up; the
+			// retry re-picks the same warp, since warps unparked meanwhile
+			// have readyAt past this cycle.
+			sm.rr = rr
+			ep.gated = true
+			if lo != nil {
+				lo.epochGates[si]++
+			}
+			return
+		}
+		if err := ls.execWarp(sm, w, sink, &ep.step, now); err != nil {
+			ep.queue = append(ep.queue, epochEvent{kind: evFault, cycle: now, err: err})
+			ep.held = true
+			ep.now = now + 1
+			return
+		}
+		if lo != nil {
+			lo.busy[si]++
+		}
+		if ep.step.mem {
+			if bound := ls.logEpochMem(ep, si, w, now); bound != 0 && bound < limit {
+				limit = bound
+			}
+		} else {
+			ls.settleTiming(sm, &ep.step, now)
+			if n := sm.storeBuf.Len() - ep.bufMark; n > 0 {
+				// A deferred store outside a memory-system step (parameter
+				// space): no pricing needed, but visibility order is.
+				ep.bufMark = sm.storeBuf.Len()
+				ep.queue = append(ep.queue, epochEvent{kind: evFlush, cycle: now, nStores: n})
+			}
+		}
+		if w.done && !w.retired {
+			if w.cta.live > 1 {
+				// Partial retire: only CTA-local state, safe in place.
+				ls.retire(sm, w, now)
+			} else {
+				ep.queue = append(ep.queue, epochEvent{kind: evRetire, cycle: now, w: w})
+				ep.held = true
+				if lo != nil {
+					lo.epochHolds[si]++
+				}
+				ep.now = now + 1
+				return
+			}
+		}
+		ep.now = now + 1
+	}
+}
+
+// logEpochMem buffers a memory-system step: coalesce SM-locally, copy the
+// lines into the SM's slab (the coalescer scratch is reused next step),
+// and settle what is locally known. Warps whose latency depends on the
+// replay — loads, and const/tex stores, whose pricing follows the load
+// path — park; global/local stores complete at ALULatency. Returns the
+// new park bound, or 0 if the warp did not park.
+func (ls *launchState) logEpochMem(ep *epochSM, si int, w *warpRT, now uint64) uint64 {
+	sm := ep.sm
+	st := &ep.step.st
+	space := st.Instr.Space
+	lines := ep.coal.lines(st.Accesses, laneBaseOf(space))
+	store := isStoreOp(st.Instr.Op)
+	sm.issueFreeAt = now + ep.step.issue + uint64(len(lines)-1)
+	off := len(ep.slab)
+	ep.slab = append(ep.slab, lines...)
+	n := sm.storeBuf.Len() - ep.bufMark
+	ep.bufMark = sm.storeBuf.Len()
+	ep.queue = append(ep.queue, epochEvent{
+		kind: evMem, store: store, space: space, cycle: now, w: w,
+		cta: w.cta.cta.Index, off: off, end: len(ep.slab), nStores: n,
+	})
+	if store && space != isa.SpaceConst && space != isa.SpaceTex {
+		w.readyAt = now + uint64(ls.g.cfg.ALULatency)
+		sm.syncReady(w)
+		return 0
+	}
+	if w.done {
+		return 0 // a done warp never issues again; no latency to wait on
+	}
+	// Only this event's replay may wake the warp: the warp pointer alone
+	// is ambiguous — an earlier same-warp store event replayed after this
+	// park would otherwise wake it with the store's latency.
+	ep.queue[len(ep.queue)-1].parked = true
+	w.parked = true
+	w.blocked = true
+	w.parkBound = now + ls.ms.minLoadLatency(space)
+	sm.syncReady(w)
+	ep.parked++
+	if lo := ls.lo; lo != nil {
+		lo.epochParks[si]++
+	}
+	return w.parkBound
+}
+
+// replayEpochEvents merges the per-SM logs and replays every event
+// strictly below the horizon in (cycle, SM index, log order) — the
+// sequential loop's visit order — through the caches, DRAM channels,
+// sharing tracker, store buffers and dispatch cursors. Returns how many
+// events it replayed and whether the launch finished (last CTA retired,
+// or — with execErr set — a fault surfaced).
+func (ls *launchState) replayEpochEvents(eps []*epochSM, horizon uint64, execErr *error) (processed int, finished bool) {
+	for {
+		// Linear scan of the queue heads: SM counts are small (≤ 30 here)
+		// and rounds replay many events, so a heap would not pay for
+		// itself. Strict < keeps ties on the lowest SM index.
+		best := -1
+		bc := horizon
+		for s, ep := range eps {
+			if ep.head < len(ep.queue) {
+				if c := ep.queue[ep.head].cycle; c < bc {
+					bc, best = c, s
+				}
+			}
+		}
+		if best < 0 {
+			return processed, finished
+		}
+		ep := eps[best]
+		ev := &ep.queue[ep.head]
+		ep.head++
+		sm := ep.sm
+		switch ev.kind {
+		case evMem:
+			lat := ls.ms.priceLines(ev.cycle, sm.caches, ev.cta, ev.space, ev.store,
+				ep.slab[ev.off:ev.end], ls.sink.g)
+			if ev.nStores > 0 {
+				sm.storeBuf.FlushN(ev.nStores)
+				ep.bufMark -= ev.nStores
+			}
+			if w := ev.w; ev.parked {
+				w.parked = false
+				w.blocked = w.done || w.retired || w.barrier
+				w.readyAt = ev.cycle + lat
+				sm.syncReady(w)
+				sm.skipUntil = 0 // the unparked warp may beat the skip bound
+				ep.parked--
+			}
+		case evFlush:
+			sm.storeBuf.FlushN(ev.nStores)
+			ep.bufMark -= ev.nStores
+		case evRetire:
+			ls.retire(sm, ev.w, ev.cycle)
+			ep.held = false
+			if ls.pending == 0 {
+				// Keep draining: remaining events are same-cycle stores
+				// from higher SMs the sequential loop would still price.
+				ls.now = ev.cycle + 1
+				finished = true
+			}
+		case evFault:
+			// The globally earliest fault in (cycle, SM) order is the one
+			// the sequential loop would panic on; everything after it is
+			// speculative and discarded.
+			*execErr = ev.err
+			return processed, true
+		}
+		processed++
+		if ep.head == len(ep.queue) {
+			ep.queue = ep.queue[:0]
+			ep.head = 0
+			ep.slab = ep.slab[:0]
+		}
+	}
+}
+
+// smNextIssue returns the earliest cycle ≥ now at which the SM could
+// issue on purely local knowledge, or blockedAt if no warp could issue
+// without outside help (parked warps are folded into blockedAt; their
+// SM is bounded by parkBound elsewhere). Mirrors nextEvent's per-SM
+// logic with an SM-local clock.
+func smNextIssue(sm *smRT, now uint64) uint64 {
+	if s := sm.skipUntil; s > now {
+		if s == blockedAt {
+			return blockedAt
+		}
+		if sm.issueFreeAt > s {
+			s = sm.issueFreeAt
+		}
+		return s
+	}
+	best := sm.nextReady()
+	if best == blockedAt {
+		return blockedAt
+	}
+	if best < now {
+		best = now
+	}
+	if sm.issueFreeAt > best {
+		best = sm.issueFreeAt
+	}
+	return best
+}
+
+// gatedWarp reports whether issuing the warp now could observe device
+// memory ahead of the flush watermark: its next instruction reads a
+// space some live kernel stores to. Replay warps never touch functional
+// memory; a warp that cannot be inspected gates conservatively (which
+// cannot happen on this path — the reference interpreter forces
+// lockstep, see GPU.epochCycles).
+func gatedWarp(w *warpRT, gateMask uint32) bool {
+	if w.cta.spec.trace != nil {
+		return false
+	}
+	lw, ok := w.w.(*isa.Warp)
+	if !ok {
+		return true
+	}
+	in := lw.Peek()
+	if in == nil {
+		return false
+	}
+	switch in.Op {
+	case isa.OpLd, isa.OpLdF, isa.OpAtom:
+		return gateMask&(1<<uint(in.Space)) != 0
+	}
+	return false
+}
+
+// epochGateMask returns a bitmask over isa.Space of the deferred spaces
+// any live (non-replay) kernel in the launch stores to. Loads from those
+// spaces can observe cross-SM stores, so live-mode SMs must not issue
+// them past the flush watermark. Replayed kernels contribute nothing —
+// their warps never read functional memory — so pure replay runs with an
+// empty mask and epochs at full length.
+func (ls *launchState) epochGateMask() uint32 {
+	var mask uint32
+	for _, sp := range ls.specs {
+		if sp.trace != nil {
+			continue
+		}
+		for i := range sp.k.Instrs {
+			in := &sp.k.Instrs[i]
+			switch in.Op {
+			case isa.OpSt, isa.OpStF, isa.OpAtom:
+				if isa.DeferredSpace(in.Space) {
+					mask |= 1 << uint(in.Space)
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// epochAllFree reports whether no SM is waiting on coordinator action —
+// no parked warps, no retire/fault holds, no visibility gates — so an
+// eventless round really means the launch is idle until the next ready
+// cycle.
+func epochAllFree(eps []*epochSM) bool {
+	for _, ep := range eps {
+		if ep.parked > 0 || ep.held || ep.gated {
+			return false
+		}
+	}
+	return true
+}

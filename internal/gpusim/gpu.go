@@ -139,7 +139,7 @@ func (g *GPU) runLaunch(rss []*runSpec) error {
 		issueC: g.cfg.issueCycles(),
 	}
 	if g.obsC != nil {
-		ls.lo = newLaunchObs(g.cfg.NumSMs)
+		ls.lo = newLaunchObs(g.cfg.NumSMs, g.obsC)
 		d.lo = ls.lo
 	}
 	for _, sp := range rss {
@@ -164,11 +164,15 @@ func (g *GPU) runLaunch(rss []*runSpec) error {
 	snap := g.cacheSnapshot()
 
 	for _, sm := range ls.sms {
-		ls.fill(sm)
+		ls.fill(sm, ls.now)
 	}
 	var err error
 	if w := g.shardWorkers(); w > 1 {
-		err = ls.runParallel(w)
+		if e := g.epochCycles(); e > 1 {
+			err = ls.runEpoch(w, e)
+		} else {
+			err = ls.runParallel(w)
+		}
 	} else {
 		err = ls.run()
 	}
@@ -225,6 +229,17 @@ func (g *GPU) shardWorkers() int {
 		w = g.cfg.NumSMs
 	}
 	return w
+}
+
+// epochCycles resolves the epoch length the parallel path runs at. The
+// reference interpreter forces lockstep: its warps cannot be inspected
+// for the live-mode store-visibility gate (no Peek), and validation runs
+// do not chase speed anyway.
+func (g *GPU) epochCycles() int {
+	if g.cfg.ReferenceInterp || g.cfg.EpochCycles < 1 {
+		return 1
+	}
+	return g.cfg.EpochCycles
 }
 
 type cacheCounts struct{ l1h, l1m, l2h, l2m, ch, cm, th, tm uint64 }

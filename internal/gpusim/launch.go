@@ -28,6 +28,17 @@ type warpRT struct {
 	// SM's flat scan array (smRT.ready) in O(1).
 	slot int
 
+	// parked marks a warp whose memory latency is not yet known on the
+	// epoch-parallel path (epoch.go): the warp issued a load into the
+	// SM's epoch log and blocks until the coordinator prices it.
+	// parkBound is the SM-locally provable lower bound on the eventual
+	// readyAt (issue cycle + the memory subsystem's λ for the space); the
+	// SM never advances past the smallest bound among its parked warps,
+	// which is what keeps local scheduling exact. Both stay zero outside
+	// epoch mode.
+	parked    bool
+	parkBound uint64
+
 	// rec, when non-nil, records every step the warp executes for later
 	// replay (trace.go). A warp belongs to exactly one SM, so recording
 	// needs no synchronization even on the shard-parallel path.
@@ -194,8 +205,10 @@ type launchState struct {
 }
 
 // fill assigns pending CTAs round-robin across kernels to an SM while its
-// resource budgets allow.
-func (ls *launchState) fill(sm *smRT) {
+// resource budgets allow. now is the SM's current cycle — the launch
+// clock on the sequential and lockstep paths, the SM-local retire cycle
+// on the epoch path — and fresh warps become ready at it.
+func (ls *launchState) fill(sm *smRT, now uint64) {
 	for {
 		placed := false
 		for i := 0; i < len(ls.specs); i++ {
@@ -222,7 +235,7 @@ func (ls *launchState) fill(sm *smRT) {
 			wrts := make([]warpRT, len(cta.Warps))
 			for i, w := range cta.Warps {
 				wrt := &wrts[i]
-				wrt.w, wrt.cta, wrt.env, wrt.readyAt = w, rt, cta.Env, ls.now
+				wrt.w, wrt.cta, wrt.env, wrt.readyAt = w, rt, cta.Env, now
 				wrt.done = w.Done()
 				wrt.blocked = wrt.done
 				if sp.rec != nil {
@@ -272,7 +285,7 @@ func (ls *launchState) run() error {
 				}
 				continue
 			}
-			ok, err := ls.execOne(sm, ls.sink, &step)
+			ok, err := ls.execOne(sm, ls.sink, &step, ls.now)
 			if err != nil {
 				// Functional faults are kernel bugs; surface them loudly
 				// rather than silently corrupting the run.
@@ -285,10 +298,10 @@ func (ls *launchState) run() error {
 				continue
 			}
 			if step.mem {
-				ls.priceShared(sm, &step)
+				ls.priceShared(sm, &step, ls.now)
 			}
-			ls.settleTiming(sm, &step)
-			ls.maybeRetire(sm, step.w)
+			ls.settleTiming(sm, &step, ls.now)
+			ls.maybeRetire(sm, step.w, ls.now)
 			if lo != nil {
 				lo.busy[si]++
 			}
@@ -365,15 +378,24 @@ func (ls *launchState) nextEvent() (uint64, bool) {
 // spaces (parameter, shared). Memory instructions that route through the
 // launch-global memory system are returned with mem=true for the caller
 // to price via priceShared. Safe to call concurrently for SMs on
-// different shards when each shard has its own sink.
-func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep) (bool, error) {
-	if sm.skipUntil > ls.now {
+// different shards when each shard has its own sink. now is the cycle
+// the SM is executing — the launch clock on the sequential and lockstep
+// paths, the SM-local clock on the epoch path.
+func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep, now uint64) (bool, error) {
+	if sm.skipUntil > now {
 		return false, nil
 	}
-	w := ls.g.sched.pick(sm, ls.now)
+	w := ls.g.sched.pick(sm, now)
 	if w == nil {
 		return false, nil // pick recorded sm.skipUntil
 	}
+	return true, ls.execWarp(sm, w, sink, out, now)
+}
+
+// execWarp is execOne past warp selection: it executes one instruction
+// of w and settles every SM-local charge. The epoch path calls it
+// directly after its own pick-and-gate step.
+func (ls *launchState) execWarp(sm *smRT, w *warpRT, sink statsSink, out *issuedStep, now uint64) error {
 	st := &out.st
 	// Devirtualize the two hot executors: this call runs once per warp
 	// instruction and the concrete types let the branch predictor skip
@@ -388,7 +410,7 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep) (bool,
 		err = w.w.Exec(w.env, st)
 	}
 	if err != nil {
-		return false, err
+		return err
 	}
 	if w.rec != nil {
 		w.rec.Record(st)
@@ -444,45 +466,45 @@ func (ls *launchState) execOne(sm *smRT, sink statsSink, out *issuedStep) (bool,
 			issue, lat = ls.ms.localCost(st, issue, gs, ks, &sm.bankScr)
 		}
 	case isa.ClassBar:
-		ls.barrier(w)
+		ls.barrier(w, now)
 	case isa.ClassExit:
 	}
 	out.issue, out.lat = issue, lat
-	return true, nil
+	return nil
 }
 
 // priceShared completes the pricing of a mem step through the shared
 // memory system. Must run serialized, in SM index order. Sharing
 // statistics always land in the authoritative sink — the tracker state
 // they accompany is launch-global.
-func (ls *launchState) priceShared(sm *smRT, step *issuedStep) {
+func (ls *launchState) priceShared(sm *smRT, step *issuedStep, now uint64) {
 	step.issue, step.lat = ls.ms.sharedCost(
-		ls.now, sm.caches, step.w.cta.cta.Index, &step.st, step.issue, ls.sink.g)
+		now, sm.caches, step.w.cta.cta.Index, &step.st, step.issue, ls.sink.g)
 }
 
 // settleTiming applies an issued step's charges to the SM and warp.
-func (ls *launchState) settleTiming(sm *smRT, step *issuedStep) {
-	sm.issueFreeAt = ls.now + step.issue
-	step.w.readyAt = ls.now + step.lat
+func (ls *launchState) settleTiming(sm *smRT, step *issuedStep, now uint64) {
+	sm.issueFreeAt = now + step.issue
+	step.w.readyAt = now + step.lat
 	sm.syncReady(step.w)
 }
 
 // maybeRetire retires the warp's CTA slot if it just finished. Mutates
 // launch-global dispatch state (pending, rrSpec, CTA cursors), so the
 // parallel path defers it to the serialized phase.
-func (ls *launchState) maybeRetire(sm *smRT, w *warpRT) {
+func (ls *launchState) maybeRetire(sm *smRT, w *warpRT, now uint64) {
 	if w.done && !w.retired {
-		ls.retire(sm, w)
+		ls.retire(sm, w, now)
 	}
 }
 
-func (ls *launchState) barrier(w *warpRT) {
+func (ls *launchState) barrier(w *warpRT, now uint64) {
 	w.cta.waiting++
-	ls.checkRelease(w.cta)
+	ls.checkRelease(w.cta, now)
 }
 
 // checkRelease releases a CTA's barrier once every live warp has arrived.
-func (ls *launchState) checkRelease(cta *ctaRT) {
+func (ls *launchState) checkRelease(cta *ctaRT, now uint64) {
 	if cta.live == 0 || cta.waiting < cta.live {
 		return
 	}
@@ -492,8 +514,8 @@ func (ls *launchState) checkRelease(cta *ctaRT) {
 			o.w.ReleaseBarrier()
 			o.barrier = false
 			o.blocked = o.done || o.retired
-			if o.readyAt < ls.now+1 {
-				o.readyAt = ls.now + 1
+			if o.readyAt < now+1 {
+				o.readyAt = now + 1
 			}
 			cta.sm.syncReady(o)
 		}
@@ -501,7 +523,7 @@ func (ls *launchState) checkRelease(cta *ctaRT) {
 	cta.sm.skipUntil = 0 // released warps may issue next cycle
 }
 
-func (ls *launchState) retire(sm *smRT, w *warpRT) {
+func (ls *launchState) retire(sm *smRT, w *warpRT, now uint64) {
 	w.retired = true
 	w.blocked = true
 	sm.syncReady(w)
@@ -509,7 +531,7 @@ func (ls *launchState) retire(sm *smRT, w *warpRT) {
 	cta.live--
 	if cta.live > 0 {
 		// A warp exited while others were waiting at a barrier.
-		ls.checkRelease(cta)
+		ls.checkRelease(cta, now)
 		return
 	}
 	// CTA complete: free its resources, compact the warp list, refill.
@@ -534,5 +556,5 @@ func (ls *launchState) retire(sm *smRT, w *warpRT) {
 	if sm.rr >= len(sm.warps) {
 		sm.rr = 0
 	}
-	ls.fill(sm)
+	ls.fill(sm, now)
 }

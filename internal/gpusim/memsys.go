@@ -250,6 +250,17 @@ type memSubsystem struct {
 	texPath   linePath
 	loadPath  linePath // global/local loads
 	storePath linePath // global/local stores (bypass the L1)
+
+	// Per-space lower bounds on a load's latency (priceLines' return for
+	// store=false), derived from the shortest path through each hierarchy:
+	// a cache hit when the cache exists, the full miss path otherwise.
+	// The epoch-parallel simulator parks a warp at issue+minLoadLat-style
+	// bounds before the real latency is known, so these must never exceed
+	// what priceLines can return (clamped ≥ 1 so a bound always lies
+	// strictly past the issue cycle).
+	minConstLat uint64
+	minTexLat   uint64
+	minLoadLat  uint64
 }
 
 func newMemSubsystem(cfg *Config, l2 *cache, d dramModel, sharing *sharingTracker) *memSubsystem {
@@ -316,7 +327,48 @@ func newMemSubsystem(cfg *Config, l2 *cache, d dramModel, sharing *sharingTracke
 	} else {
 		ms.loadPath = ms.storePath
 	}
+
+	// Shortest completion through each path mirrors the wiring above.
+	minDRAM := d.minAccess()
+	l2Min := minDRAM
+	if l2 != nil {
+		l2Min = uint64(cfg.L2Latency)
+	}
+	ms.minConstLat = constLat
+	if cfg.ConstCacheKB <= 0 {
+		ms.minConstLat = minDRAM + constLat
+	}
+	ms.minTexLat = texLat
+	if cfg.TexCacheKB <= 0 {
+		ms.minTexLat = l2Min + texLat
+	}
+	ms.minLoadLat = l2Min
+	if cfg.L1CacheKB > 0 {
+		ms.minLoadLat = uint64(cfg.L1Latency)
+	}
+	clamp1 := func(v *uint64) {
+		if *v < 1 {
+			*v = 1
+		}
+	}
+	clamp1(&ms.minConstLat)
+	clamp1(&ms.minTexLat)
+	clamp1(&ms.minLoadLat)
 	return ms
+}
+
+// minLoadLatency returns the λ bound for a load from the space: no load
+// priced by priceLines completes in fewer cycles than this. See the
+// minConstLat field comment for the epoch-parallel contract.
+func (ms *memSubsystem) minLoadLatency(space isa.Space) uint64 {
+	switch space {
+	case isa.SpaceConst:
+		return ms.minConstLat
+	case isa.SpaceTex:
+		return ms.minTexLat
+	default:
+		return ms.minLoadLat
+	}
 }
 
 // sharedSpace reports whether pricing the instruction routes through the
@@ -343,45 +395,60 @@ func (ms *memSubsystem) localCost(st *isa.Step, issue uint64, gs, ks *Stats, scr
 	return issue, uint64(ms.cfg.SharedLatency)
 }
 
+// laneBaseOf returns the per-lane address offset coalescing needs for
+// the space: local addresses are per-thread, so they are spread out to
+// keep coalescing and channel interleaving per-thread distinct.
+func laneBaseOf(space isa.Space) uint64 {
+	if space == isa.SpaceLocal {
+		return 1
+	}
+	return 0
+}
+
+// isStoreOp reports whether the op writes memory (atomics excluded: they
+// read-modify-write and are priced as loads).
+func isStoreOp(op isa.Op) bool { return op == isa.OpSt || op == isa.OpStF }
+
 // sharedCost prices the memory spaces that go through the cache
 // hierarchy and DRAM channels (constant, texture, global, local,
 // atomics). Callers must serialize invocations in SM index order.
 func (ms *memSubsystem) sharedCost(now uint64, caches *smCaches, cta int, st *isa.Step, issue uint64, gs *Stats) (uint64, uint64) {
-	switch st.Instr.Space {
+	space := st.Instr.Space
+	lines := ms.coal.lines(st.Accesses, laneBaseOf(space))
+	store := isStoreOp(st.Instr.Op)
+	lat := ms.priceLines(now, caches, cta, space, store, lines, gs)
+	return issue + uint64(len(lines)-1), lat
+}
+
+// priceLines routes one warp instruction's coalesced lines through the
+// launch-global memory system at cycle now — caches, DRAM channels and,
+// for global accesses, the sharing tracker — and returns the warp
+// latency: the last line's completion for loads, ALULatency for stores
+// (which are buffered; the warp proceeds once the transactions are
+// issued, but they still consume DRAM bandwidth here). The issue-slot
+// charge (one extra slot per line beyond the first) is the caller's,
+// since it needs no global state. Callers must serialize invocations in
+// global (cycle, SM index) order; the epoch-parallel coordinator calls
+// this directly from buffered per-SM logs with exactly that ordering.
+func (ms *memSubsystem) priceLines(now uint64, caches *smCaches, cta int, space isa.Space, store bool, lines []uint64, gs *Stats) uint64 {
+	switch space {
 	case isa.SpaceConst:
-		lines := ms.coal.lines(st.Accesses, 0)
-		done := ms.complete(now, caches, ms.constPath, lines)
-		return issue + uint64(len(lines)-1), done - now
-
+		return ms.complete(now, caches, ms.constPath, lines) - now
 	case isa.SpaceTex:
-		lines := ms.coal.lines(st.Accesses, 0)
-		done := ms.complete(now, caches, ms.texPath, lines)
-		return issue + uint64(len(lines)-1), done - now
-
+		return ms.complete(now, caches, ms.texPath, lines) - now
 	default: // global, local, atomics
-		// Local addresses are per-thread; offset them so coalescing and
-		// channel interleaving see distinct locations per thread.
-		var laneBase uint64
-		if st.Instr.Space == isa.SpaceLocal {
-			laneBase = 1
-		}
-		lines := ms.coal.lines(st.Accesses, laneBase)
-		if st.Instr.Space == isa.SpaceGlobal {
+		if space == isa.SpaceGlobal {
 			ms.sharing.track(cta, lines, gs)
 		}
-		store := st.Instr.Op == isa.OpSt || st.Instr.Op == isa.OpStF
 		path := ms.loadPath
 		if store {
 			path = ms.storePath
 		}
 		done := ms.complete(now, caches, path, lines)
-		slots := issue + uint64(len(lines)-1)
 		if store {
-			// Stores are buffered: the warp proceeds after issuing the
-			// transactions; they still consume DRAM bandwidth above.
-			return slots, uint64(ms.cfg.ALULatency)
+			return uint64(ms.cfg.ALULatency)
 		}
-		return slots, done - now
+		return done - now
 	}
 }
 

@@ -32,21 +32,42 @@ type launchObs struct {
 	stallSkip []uint64 // cycles skipped via the scheduler's skipUntil bound
 	stallWarp []uint64 // scheduler scans that found no issuable warp
 
+	// Per-SM, epoch path only (epoch.go); same ownership rule as above.
+	epochParks []uint64 // loads parked awaiting coordinator pricing
+	epochHolds []uint64 // SM freezes at a full-CTA retire
+	epochGates []uint64 // SM stalls at the store-visibility watermark
+
+	// Per-worker, indexed by worker id; allocated by the parallel paths
+	// at launch start and written only by the owning worker. Sampled
+	// phase-A barrier wait, extrapolated ×barrierSample.
+	barrierWaitNs []uint64
+
 	// Coordinator-only (phase B / sequential loop).
 	skipAhead        uint64 // cycles elided by event-driven clock jumps
 	dramBacklog      uint64 // summed channel backlog at enqueue, in cycles
 	dramMaxBacklog   uint64 // worst single-channel backlog observed
 	dramAccesses     uint64 // line transactions enqueued
-	barrierWaitNs    uint64 // sampled shard-barrier wait, extrapolated ×sample
-	barrierCrossings uint64 // lockstep iterations on the parallel path
+	barrierCrossings uint64 // barrier rounds: per cycle in lockstep, per epoch in epoch mode
+	epochRounds      uint64 // coordinator rounds on the epoch path
+
+	// Registry histograms, observed directly (atomic, concurrency-safe):
+	// raw per-worker barrier-wait samples and per-round epoch advance.
+	// Cached here so collection sites never take the registry mutex.
+	waitHist  *obs.Histogram
+	roundHist *obs.Histogram
 }
 
-func newLaunchObs(numSMs int) *launchObs {
+func newLaunchObs(numSMs int, c *gpuCounters) *launchObs {
 	return &launchObs{
-		busy:      make([]uint64, numSMs),
-		stallPort: make([]uint64, numSMs),
-		stallSkip: make([]uint64, numSMs),
-		stallWarp: make([]uint64, numSMs),
+		busy:       make([]uint64, numSMs),
+		stallPort:  make([]uint64, numSMs),
+		stallSkip:  make([]uint64, numSMs),
+		stallWarp:  make([]uint64, numSMs),
+		epochParks: make([]uint64, numSMs),
+		epochHolds: make([]uint64, numSMs),
+		epochGates: make([]uint64, numSMs),
+		waitHist:   c.waitHist,
+		roundHist:  c.roundHist,
 	}
 }
 
@@ -72,6 +93,11 @@ type gpuCounters struct {
 	dramAccesses   *obs.Counter
 
 	barrierWaitNs, barrierCrossings *obs.Counter
+
+	epochRounds, epochParks, epochHolds, epochGates *obs.Counter
+
+	waitHist  *obs.Histogram
+	roundHist *obs.Histogram
 }
 
 func newGPUCounters(r *obs.Registry, numSMs int) *gpuCounters {
@@ -87,6 +113,12 @@ func newGPUCounters(r *obs.Registry, numSMs int) *gpuCounters {
 		dramAccesses:     r.Counter("gpusim.dram.accesses"),
 		barrierWaitNs:    r.Counter("gpusim.barrier.wait_ns"),
 		barrierCrossings: r.Counter("gpusim.barrier.crossings"),
+		epochRounds:      r.Counter("gpusim.epoch.rounds"),
+		epochParks:       r.Counter("gpusim.epoch.parked_loads"),
+		epochHolds:       r.Counter("gpusim.epoch.retire_holds"),
+		epochGates:       r.Counter("gpusim.epoch.gate_stops"),
+		waitHist:         r.Histogram("gpusim.barrier.wait_sample_ns"),
+		roundHist:        r.Histogram("gpusim.epoch.round_cycles"),
 	}
 	for s := 0; s < numSMs; s++ {
 		label := strconv.Itoa(s)
@@ -103,8 +135,12 @@ func newGPUCounters(r *obs.Registry, numSMs int) *gpuCounters {
 // Stats, whose DeepEqual comparisons back the determinism tests. Counter
 // names: per-SM gpusim.sm.{busy,idle}_cycles{sm=N} (busy+idle sums to
 // gpusim.cycles for every SM), stall cycles by reason under
-// gpusim.stall.*, elided clock jumps, DRAM channel backlog, and sampled
-// shard-barrier wait on the parallel path.
+// gpusim.stall.*, elided clock jumps, DRAM channel backlog, sampled
+// per-worker shard-barrier wait (gpusim.barrier.wait_ns summed, raw
+// samples in the gpusim.barrier.wait_sample_ns histogram) and barrier
+// crossings on the parallel paths, and the epoch engine's rounds,
+// parked loads, retire holds, gate stops and per-round clock advance
+// (gpusim.epoch.*).
 func (g *GPU) SetObs(r *obs.Registry) {
 	if r == nil {
 		g.obsC = nil
@@ -117,7 +153,7 @@ func (g *GPU) SetObs(r *obs.Registry) {
 // derived, not counted: every launch cycle an SM did not issue is idle,
 // so busy+idle equals the launch's cycle count per SM by construction.
 func (c *gpuCounters) flushObs(lo *launchObs, launchCycles uint64) {
-	var port, skip, warp uint64
+	var port, skip, warp, parks, holds, gates uint64
 	for s := range lo.busy {
 		c.busy[s].Add(lo.busy[s])
 		c.idle[s].Add(launchCycles - lo.busy[s])
@@ -125,6 +161,9 @@ func (c *gpuCounters) flushObs(lo *launchObs, launchCycles uint64) {
 		port += lo.stallPort[s]
 		skip += lo.stallSkip[s]
 		warp += lo.stallWarp[s]
+		parks += lo.epochParks[s]
+		holds += lo.epochHolds[s]
+		gates += lo.epochGates[s]
 	}
 	c.stallPort.Add(port)
 	c.stallSkip.Add(skip)
@@ -135,6 +174,14 @@ func (c *gpuCounters) flushObs(lo *launchObs, launchCycles uint64) {
 	c.dramBacklog.Add(lo.dramBacklog)
 	c.dramMaxBacklog.SetMax(int64(lo.dramMaxBacklog))
 	c.dramAccesses.Add(lo.dramAccesses)
-	c.barrierWaitNs.Add(lo.barrierWaitNs)
+	var wait uint64
+	for _, w := range lo.barrierWaitNs {
+		wait += w
+	}
+	c.barrierWaitNs.Add(wait)
 	c.barrierCrossings.Add(lo.barrierCrossings)
+	c.epochRounds.Add(lo.epochRounds)
+	c.epochParks.Add(parks)
+	c.epochHolds.Add(holds)
+	c.epochGates.Add(gates)
 }

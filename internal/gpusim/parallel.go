@@ -50,14 +50,30 @@ import (
 // spinBarrier is a sense-reversing barrier for short lockstep phases.
 // The atomics establish the happens-before edges that make phase-B state
 // visible to the next phase A (and satisfy the race detector).
+//
+// When the barrier has more parties than the runtime has processors
+// (GOMAXPROCS), spinning is self-defeating: an oversubscribed worker
+// burning a core is a core the straggler the barrier is waiting on does
+// not get. Those barriers park on a condition variable instead. The
+// common, non-oversubscribed path stays a pure spin with no locked
+// sections — the park fields go untouched.
 type spinBarrier struct {
 	parties int32
 	count   atomic.Int32
 	sense   atomic.Int32
+
+	park bool // parties > GOMAXPROCS at construction
+	mu   sync.Mutex
+	cond sync.Cond
 }
 
 func newSpinBarrier(parties int) *spinBarrier {
-	return &spinBarrier{parties: int32(parties)}
+	b := &spinBarrier{
+		parties: int32(parties),
+		park:    parties > runtime.GOMAXPROCS(0),
+	}
+	b.cond.L = &b.mu
+	return b
 }
 
 // wait blocks until all parties arrive. local is the caller's sense
@@ -67,7 +83,26 @@ func (b *spinBarrier) wait(local *int32) {
 	*local = s
 	if b.count.Add(1) == b.parties {
 		b.count.Store(0)
-		b.sense.Store(s)
+		if b.park {
+			// Publish the sense under the mutex: a parked waiter that saw
+			// the old sense holds the lock until it is inside cond.Wait,
+			// so the broadcast cannot slip between its check and its
+			// sleep.
+			b.mu.Lock()
+			b.sense.Store(s)
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		} else {
+			b.sense.Store(s)
+		}
+		return
+	}
+	if b.park {
+		b.mu.Lock()
+		for b.sense.Load() != s {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
 		return
 	}
 	for i := 1; b.sense.Load() != s; i++ {
@@ -111,6 +146,27 @@ func (ls *launchState) runParallel(workers int) error {
 	// Telemetry tallies go into per-SM slots of ls.lo: worker wid owns SM
 	// s's slot exactly when it owns the SM, so phase A stays race-free.
 	lo := ls.lo
+	if lo != nil {
+		lo.barrierWaitNs = make([]uint64, workers)
+	}
+
+	// waitA crosses the phase-A barrier, timing this worker's wait — how
+	// long it idles for the slowest shard — on a 1-in-barrierSample
+	// schedule keyed to the worker's own crossing count: extrapolated
+	// into the worker's launchObs slot, raw into the fleet-wide
+	// histogram. Sampling keeps the clock reads (two syscalls-ish each)
+	// off the common per-cycle path; per-worker slots keep it race-free.
+	waitA := func(wid int, crossing uint64, sense *int32) {
+		if lo != nil && crossing%barrierSample == 0 {
+			t0 := time.Now()
+			bar.wait(sense)
+			d := uint64(time.Since(t0))
+			lo.barrierWaitNs[wid] += d * barrierSample
+			lo.waitHist.Observe(d)
+		} else {
+			bar.wait(sense)
+		}
+	}
 
 	phaseA := func(wid int) {
 		for s := wid; s < nsm; s += workers {
@@ -128,7 +184,7 @@ func (ls *launchState) runParallel(workers int) error {
 				lo.stallSkip[s]++
 				continue
 			}
-			ok, err := ls.execOne(sm, shards[wid], &steps[s])
+			ok, err := ls.execOne(sm, shards[wid], &steps[s], ls.now)
 			if err != nil {
 				errSM[s] = err
 				continue
@@ -140,7 +196,7 @@ func (ls *launchState) runParallel(workers int) error {
 				continue
 			}
 			if !steps[s].mem {
-				ls.settleTiming(sm, &steps[s])
+				ls.settleTiming(sm, &steps[s], ls.now)
 			}
 			if lo != nil {
 				lo.busy[s]++
@@ -154,10 +210,10 @@ func (ls *launchState) runParallel(workers int) error {
 		go func(wid int) {
 			defer wg.Done()
 			var sense int32
-			for {
+			for crossing := uint64(0); ; crossing++ {
 				phaseA(wid)
-				bar.wait(&sense) // phase A done everywhere
-				bar.wait(&sense) // coordinator's phase B done
+				waitA(wid, crossing, &sense) // phase A done everywhere
+				bar.wait(&sense)             // coordinator's phase B done
 				if stopped {
 					return
 				}
@@ -168,17 +224,11 @@ func (ls *launchState) runParallel(workers int) error {
 	var sense int32
 	for {
 		phaseA(0)
-		// The coordinator times its own phase-A barrier wait — how long it
-		// idles for the slowest shard — on a 1-in-barrierSample sampling
-		// schedule, extrapolated at flush. Sampling keeps the clock reads
-		// (two syscalls-ish each) off the common per-cycle path.
-		if lo != nil && lo.barrierCrossings%barrierSample == 0 {
-			t0 := time.Now()
-			bar.wait(&sense)
-			lo.barrierWaitNs += uint64(time.Since(t0)) * barrierSample
-		} else {
-			bar.wait(&sense)
+		crossing := uint64(0)
+		if lo != nil {
+			crossing = lo.barrierCrossings
 		}
+		waitA(0, crossing, &sense)
 		if lo != nil {
 			lo.barrierCrossings++
 		}
@@ -198,10 +248,10 @@ func (ls *launchState) runParallel(workers int) error {
 			issued = true
 			sm, step := ls.sms[s], &steps[s]
 			if step.mem {
-				ls.priceShared(sm, step)
-				ls.settleTiming(sm, step)
+				ls.priceShared(sm, step, ls.now)
+				ls.settleTiming(sm, step, ls.now)
 			}
-			ls.maybeRetire(sm, step.w)
+			ls.maybeRetire(sm, step.w, ls.now)
 		}
 		switch {
 		case execErr != nil:

@@ -53,6 +53,13 @@ import (
 //
 // Incompatibility is a normal condition, not an error: callers fall back
 // to full execution (and typically capture a fresh trace while at it).
+//
+// Replay composes with every execution engine, including the
+// epoch-parallel path (epoch.go): replayed warps never read functional
+// memory, so the epoch engine's store-visibility gate never applies to
+// them and replay runs full-length epochs unconditionally — the ideal
+// pairing for multi-configuration sweeps (trace once, replay many, each
+// replay epoch-parallel).
 
 // RunTrace is the functional recording of one benchmark run: every
 // kernel launch the benchmark issued, in order, under the configuration

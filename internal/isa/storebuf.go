@@ -49,6 +49,25 @@ func (b *StoreBuffer) Flush() {
 	b.entries = b.entries[:0]
 }
 
+// FlushN applies the oldest n buffered stores in recorded order and
+// removes them, leaving later entries queued. The epoch-parallel
+// simulator uses it to interleave store visibility from several SMs in
+// global issue order: each SM's buffer holds stores from many cycles,
+// and the coordinator releases exactly the prefix belonging to the event
+// it is replaying. n larger than the buffer flushes everything.
+func (b *StoreBuffer) FlushN(n int) {
+	if n >= len(b.entries) {
+		b.Flush()
+		return
+	}
+	for i := 0; i < n; i++ {
+		e := &b.entries[i]
+		storeRaw(e.arena, e.addr, e.t, e.v)
+	}
+	rest := copy(b.entries, b.entries[n:])
+	b.entries = b.entries[:rest]
+}
+
 // deferredSpace reports whether stores to the space must go through the
 // store buffer when one is attached: everything backed by the launch-wide
 // Memory. Shared and local arenas are private to a CTA (and hence to the
@@ -56,3 +75,10 @@ func (b *StoreBuffer) Flush() {
 func deferredSpace(s Space) bool {
 	return s != SpaceShared && s != SpaceLocal
 }
+
+// DeferredSpace reports whether stores to the space are deferred through
+// an attached StoreBuffer rather than applied in place — i.e. whether the
+// space is backed by the launch-wide Memory and therefore visible across
+// SMs. Timing simulators use it to reason about cross-SM store
+// visibility without duplicating the arena layout.
+func DeferredSpace(s Space) bool { return deferredSpace(s) }
