@@ -11,7 +11,9 @@
 //	experiments -out results # also write one <id>.txt per artifact
 //	experiments -parallel 0  # fan out across GOMAXPROCS workers
 //	experiments -replay=false # re-execute kernels for every configuration
-//	experiments -tracelog    # log trace capture/replay/fallback decisions
+//	experiments -store DIR   # persistent artifact store: warm-start repeat runs
+//	experiments -store-bytes N # byte cap of the on-disk store LRU
+//	experiments -tracelog    # log trace capture/replay/fallback (and disk-tier) decisions
 //	experiments -progress    # live progress (done/total, percent, ETA) on stderr
 //	experiments -telemetry results # write telemetry.json/.txt ("" disables)
 //	experiments -debug-addr 127.0.0.1:0 # serve expvar + pprof while running
@@ -47,6 +49,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/sizes"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +63,8 @@ func main() {
 	shardWorkers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
 	epoch := flag.Int("epoch", 0, "cycles between shard synchronizations with -workers > 1; 1 = lockstep (bit-identical)")
 	replay := flag.Bool("replay", true, "trace each benchmark once and replay it for further configs")
+	storeDir := flag.String("store", "", "persistent artifact store directory (cached-or-computed results across runs)")
+	storeBytes := flag.Int64("store-bytes", 0, "byte cap of the on-disk store LRU (0 = default)")
 	tracelog := flag.Bool("tracelog", false, "log trace capture/replay/fallback decisions to stderr")
 	progress := flag.Bool("progress", false, "report live progress (done/total, percent, ETA) on stderr")
 	telemetry := flag.String("telemetry", "results", "directory for telemetry.json/telemetry.txt (empty disables)")
@@ -128,6 +133,15 @@ func main() {
 	ctx.ShardWorkers = *shardWorkers
 	ctx.EpochCycles = *epoch
 	ctx.Obs = obs.New()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeBytes, ctx.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		ctx.Store = st
+	}
 	if *tracelog {
 		ctx.Obs.OnEvent("trace", func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
@@ -193,6 +207,11 @@ func main() {
 		c := ctx.TraceCounters()
 		fmt.Fprintf(os.Stderr, "trace: %d captures, %d replays, %d fallbacks, %d evictions, %d uncacheable, %d bytes cached\n",
 			c.Captures, c.Replays, c.Fallbacks, c.Evictions, c.Uncacheable, c.Bytes)
+		if ctx.Store != nil {
+			sc := ctx.Store.Counters()
+			fmt.Fprintf(os.Stderr, "store: %d hits, %d misses, %d puts, %d evictions, %d corrupt, %d uncacheable, %d bytes on disk\n",
+				sc.Hits, sc.Misses, sc.Puts, sc.Evictions, sc.Corrupt, sc.Uncacheable, sc.Bytes)
+		}
 	}
 	if *telemetry != "" {
 		t := experiments.BuildTelemetry(ctx, outcomes)

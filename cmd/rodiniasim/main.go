@@ -14,6 +14,8 @@
 //	rodiniasim -workers 4           # shard SMs across 4 goroutines (bit-identical)
 //	rodiniasim -workers 4 -epoch 64 # sync shards per 64-cycle epoch, not per cycle
 //	rodiniasim -parallel 0          # run benchmarks concurrently (0 = GOMAXPROCS)
+//	rodiniasim -store DIR           # persistent artifact store: warm-start repeat runs
+//	rodiniasim -store-bytes N       # byte cap of the on-disk store LRU
 //	rodiniasim -debug-addr 127.0.0.1:0 # serve live expvar metrics + pprof
 //	rodiniasim -cpuprofile cpu.prof # write a pprof CPU profile of the run
 //	rodiniasim -memprofile mem.prof # write a pprof heap profile at exit
@@ -40,6 +42,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/sizes"
+	"repro/internal/store"
 )
 
 // listBenchmarks prints every benchmark with its dwarf, the paper's
@@ -55,22 +58,6 @@ func listBenchmarks() {
 	}
 }
 
-func configByName(name string) (gpusim.Config, error) {
-	switch name {
-	case "base":
-		return gpusim.Base(), nil
-	case "base8":
-		return gpusim.Base8SM(), nil
-	case "gtx280":
-		return gpusim.GTX280(), nil
-	case "gtx480-shared":
-		return gpusim.GTX480(gpusim.SharedBias), nil
-	case "gtx480-l1":
-		return gpusim.GTX480(gpusim.L1Bias), nil
-	}
-	return gpusim.Config{}, fmt.Errorf("unknown config %q (want base, base8, gtx280, gtx480-shared, gtx480-l1)", name)
-}
-
 func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
 	sizeName := flag.String("size", sizes.Default.String(), "problem size class: test, medium or large")
@@ -82,6 +69,8 @@ func main() {
 	workers := flag.Int("workers", 0, "SM shard workers inside each simulation (results are bit-identical)")
 	epoch := flag.Int("epoch", 0, "cycles between shard synchronizations with -workers > 1; 1 = lockstep (bit-identical)")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently; 0 means GOMAXPROCS")
+	storeDir := flag.String("store", "", "persistent artifact store directory (cached-or-computed results across runs)")
+	storeBytes := flag.Int64("store-bytes", 0, "byte cap of the on-disk store LRU (0 = default)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar JSON and pprof on this host:port while running")
 	prof := obs.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -116,7 +105,7 @@ func main() {
 
 	var cfgs []gpusim.Config
 	for _, name := range strings.Split(*cfgName, ",") {
-		c, err := configByName(strings.TrimSpace(name))
+		c, err := gpusim.Preset(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -157,14 +146,25 @@ func main() {
 	// A multi-config sweep shares one experiments context so each
 	// benchmark's functional execution is traced once and replayed for
 	// the other configurations; a single-config run characterizes
-	// directly (replay can never help it).
+	// directly (replay can never help it) — unless a persistent store is
+	// attached, which routes even single-config runs through the context
+	// so their artifacts land on (and warm-start from) disk.
 	var ctx *experiments.Context
-	if len(cfgs) > 1 {
+	if len(cfgs) > 1 || *storeDir != "" {
 		ctx = experiments.NewContext()
 		ctx.Check = !*nocheck
 		ctx.Replay = *replay
 		ctx.Size = size
 		ctx.Obs = reg
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir, *storeBytes, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer st.Close()
+			ctx.Store = st
+		}
 	}
 	runBench := func(b *kernels.Benchmark) outcome {
 		if ctx == nil {

@@ -9,8 +9,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sizes"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // replayConfigs builds the timing configurations the experiment suite
@@ -82,6 +84,72 @@ func TestGPUReplayDifferentialTestSize(t *testing.T) {
 				if !reflect.DeepEqual(got, live) {
 					t.Errorf("%s: replay diverges from live execution at test size\n got: %+v\nwant: %+v", cfg.Name, got, live)
 				}
+			}
+		})
+	}
+}
+
+// TestGPUReplayDiskRoundTripDifferential is the persistence leg of the
+// replay differential: a trace captured in one process image and
+// reloaded from the artifact store by a fresh context (fresh store
+// handle, fresh caches — everything a new process would have) must
+// replay to Stats deeply equal to full execution. This pins the whole
+// disk path: encode → atomic write → index reload → decode → zero-copy
+// slab re-slicing → replay.
+func TestGPUReplayDiskRoundTripDifferential(t *testing.T) {
+	for _, b := range kernels.All() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+
+			// Writer side: capture at test size and persist the trace.
+			_, rt, err := core.CaptureGPUAt(b, sizes.Test, gpusim.Base(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writer, err := store.Open(dir, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.SaveTrace(store.TraceKey(b.Abbrev, sizes.Test), rt); err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reader side: a fresh context over a fresh store handle — the
+			// moral equivalent of a new process — must replay from disk
+			// without a functional pass.
+			st, err := store.Open(dir, 0, obs.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			ctx := experiments.NewContext()
+			ctx.Check = false
+			ctx.Size = sizes.Test
+			ctx.Store = st
+
+			for _, cfg := range []gpusim.Config{gpusim.Base8SM(), gpusim.GTX280()} {
+				got, err := ctx.GPU(b, cfg)
+				if err != nil {
+					t.Fatalf("%s via store: %v", cfg.Name, err)
+				}
+				live, err := core.CharacterizeGPUAt(b, sizes.Test, cfg, false)
+				if err != nil {
+					t.Fatalf("%s live: %v", cfg.Name, err)
+				}
+				if !reflect.DeepEqual(got, live) {
+					t.Errorf("%s: disk-round-trip replay diverges from live execution\n got: %+v\nwant: %+v", cfg.Name, got, live)
+				}
+			}
+			if c := ctx.TraceCounters(); c.Captures != 0 || c.Replays != 2 {
+				t.Fatalf("reader context: %d captures, %d replays; want 0 captures, 2 replays", c.Captures, c.Replays)
+			}
+			if c := st.Counters(); c.Hits == 0 {
+				t.Fatal("reader context never hit the store")
 			}
 		})
 	}

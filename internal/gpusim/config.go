@@ -13,6 +13,7 @@ package gpusim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/isa"
 )
@@ -143,6 +144,30 @@ func (c *Config) issueCycles() uint64 { return uint64(32 / c.SIMDWidth) }
 // (DDR transfers twice per memory clock).
 func (c *Config) dramBytesPerCoreCycle() float64 {
 	return float64(c.DRAMBusBytes) * 2 * float64(c.MemClockMHz) / float64(c.CoreClockMHz)
+}
+
+// Preset returns a preset configuration by its CLI name. The names are
+// the ones cmd/rodiniasim and cmd/simd accept: base, base8, gtx280,
+// gtx480-shared, gtx480-l1.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "base":
+		return Base(), nil
+	case "base8":
+		return Base8SM(), nil
+	case "gtx280":
+		return GTX280(), nil
+	case "gtx480-shared":
+		return GTX480(SharedBias), nil
+	case "gtx480-l1":
+		return GTX480(L1Bias), nil
+	}
+	return Config{}, fmt.Errorf("gpusim: unknown config %q (want %s)", name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames lists the Preset names in CLI help order.
+func PresetNames() []string {
+	return []string{"base", "base8", "gtx280", "gtx480-shared", "gtx480-l1"}
 }
 
 // Base returns the paper's Table II GPGPU-Sim configuration: 28 SMs,

@@ -81,6 +81,36 @@ func (rt *RunTrace) NumLaunches() int { return len(rt.launches) }
 // CaptureConfig returns the configuration the trace was recorded under.
 func (rt *RunTrace) CaptureConfig() Config { return rt.cfg }
 
+// Replayable reports whether the trace can drive replays at all — i.e.
+// capture saw nothing unrecordable. A non-nil error carries the reason
+// (atomics, concurrent kernels, ...). Per-configuration validity is the
+// stronger CompatibleWith check.
+func (rt *RunTrace) Replayable() error {
+	if rt.invalid != "" {
+		return fmt.Errorf("gpusim: trace not replayable: %s", rt.invalid)
+	}
+	return nil
+}
+
+// Export decomposes the trace into its persistable parts — the capture
+// configuration, the per-launch functional recordings, and the invalid
+// reason (empty when replayable) — for the disk artifact store
+// (internal/store). The launches are the live slabs, not copies; callers
+// must treat them as read-only, exactly like replays do.
+func (rt *RunTrace) Export() (cfg Config, launches []*isa.LaunchTrace, invalid string) {
+	return rt.cfg, rt.launches, rt.invalid
+}
+
+// ImportRunTrace reassembles a RunTrace from parts produced by Export
+// (typically decoded from disk), recomputing its retained size.
+func ImportRunTrace(cfg Config, launches []*isa.LaunchTrace, invalid string) *RunTrace {
+	rt := &RunTrace{cfg: cfg, launches: launches, invalid: invalid}
+	for _, lt := range launches {
+		rt.bytes += lt.Bytes()
+	}
+	return rt
+}
+
 // CompatibleWith reports whether replaying the trace under cfg
 // reproduces full execution bit-identically (see the validity discussion
 // at the top of this file). strictPlacement additionally demands the
@@ -88,8 +118,8 @@ func (rt *RunTrace) CaptureConfig() Config { return rt.cfg }
 // otherwise the error explains the mismatch so callers can log the
 // fallback decision.
 func (rt *RunTrace) CompatibleWith(cfg *Config, strictPlacement bool) error {
-	if rt.invalid != "" {
-		return fmt.Errorf("gpusim: trace not replayable: %s", rt.invalid)
+	if err := rt.Replayable(); err != nil {
+		return err
 	}
 	if cfg.ReferenceInterp {
 		return fmt.Errorf("gpusim: config %s requests the reference interpreter; replay skips execution entirely", cfg.Name)

@@ -33,6 +33,14 @@ type DebugServer struct {
 // address. GET /debug/quit closes the Quit channel so callers holding the
 // process open for scraping (cmd/experiments -debug-hold) know to exit.
 func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	return ServeDebugMux(addr, r, http.NewServeMux())
+}
+
+// ServeDebugMux is ServeDebug onto a caller-supplied mux: the debug
+// handlers (expvar, pprof, quit) are registered alongside whatever the
+// caller already mounted, so a service like cmd/simd serves its API and
+// its debug surface from one listener.
+func ServeDebugMux(addr string, r *Registry, mux *http.ServeMux) (*DebugServer, error) {
 	debugRegistry.Store(r)
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any {
@@ -44,7 +52,6 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 		return nil, fmt.Errorf("obs: debug listener: %w", err)
 	}
 	s := &DebugServer{ln: ln, quit: make(chan struct{})}
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

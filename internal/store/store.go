@@ -1,0 +1,388 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultCapBytes is the on-disk byte cap when the caller does not set
+// one: the full Rodinia suite's traces run ~160 MB and Stats/profile
+// blobs are tiny, so 4 GiB comfortably holds several size classes and
+// program variants while bounding a long-lived service's disk use.
+const DefaultCapBytes = 4 << 30
+
+// Blob framing: magic, format version, payload checksum, payload length,
+// payload. The checksum makes torn or bit-rotted files detectable on
+// load; the atomic write-then-rename makes them unlikely in the first
+// place.
+const (
+	blobMagic   = "RART"
+	blobVersion = 1
+	blobHdrLen  = 4 + 4 + sha256.Size + 8
+)
+
+// indexFile persists the LRU index: per-entry byte size and recency, so
+// a reopened store evicts in the same order it would have in-process.
+const indexFile = "index.json"
+
+// Counters is a point-in-time snapshot of the store's decision counters,
+// mirroring the store.* instruments for callers without a registry.
+type Counters struct {
+	Hits        uint64
+	Misses      uint64
+	Puts        uint64
+	Evictions   uint64
+	Corrupt     uint64
+	Uncacheable uint64
+	Bytes       int64
+}
+
+// Store is a disk-backed, content-addressed blob store with a byte-capped
+// LRU. It is safe for concurrent use within a process; across processes,
+// atomic renames keep readers consistent (a concurrent writer can at
+// worst waste a recompute, never serve a torn blob).
+type Store struct {
+	dir      string
+	capBytes int64
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	bytes   int64
+	clock   uint64
+
+	hit, miss, put, evict    *obs.Counter
+	corrupt, uncacheable     *obs.Counter
+	bytesGauge, entriesGauge *obs.Gauge
+	counters                 Counters
+}
+
+type entry struct {
+	bytes   int64
+	lastUse uint64
+}
+
+// indexRecord is one persisted index entry.
+type indexRecord struct {
+	Key     string `json:"key"`
+	Bytes   int64  `json:"bytes"`
+	LastUse uint64 `json:"last_use"`
+}
+
+type indexDoc struct {
+	Version int           `json:"version"`
+	Entries []indexRecord `json:"entries"`
+}
+
+// Open opens (creating if needed) the store rooted at dir. capBytes ≤ 0
+// selects DefaultCapBytes. The registry receives the store.{hit, miss,
+// put, evict, corrupt, uncacheable} counters and the store.{bytes,
+// entries} gauges (nil is the free no-op). Open reconciles the index
+// with the blobs actually on disk: indexed blobs that vanished are
+// dropped, unindexed blobs (a crash between rename and index write) are
+// adopted, and the cap is enforced immediately.
+func Open(dir string, capBytes int64, r *obs.Registry) (*Store, error) {
+	if capBytes <= 0 {
+		capBytes = DefaultCapBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:          dir,
+		capBytes:     capBytes,
+		entries:      make(map[Key]*entry),
+		hit:          r.Counter("store.hit"),
+		miss:         r.Counter("store.miss"),
+		put:          r.Counter("store.put"),
+		evict:        r.Counter("store.evict"),
+		corrupt:      r.Counter("store.corrupt"),
+		uncacheable:  r.Counter("store.uncacheable"),
+		bytesGauge:   r.Gauge("store.bytes"),
+		entriesGauge: r.Gauge("store.entries"),
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictOverLocked()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// loadIndex rebuilds the in-memory index from index.json and the objects
+// directory. Any malformed index is discarded wholesale — the blobs
+// themselves are self-describing, so the worst case is losing recency
+// order, not data.
+func (s *Store) loadIndex() error {
+	byName := make(map[string]indexRecord)
+	if data, err := os.ReadFile(filepath.Join(s.dir, indexFile)); err == nil {
+		var doc indexDoc
+		if json.Unmarshal(data, &doc) == nil && doc.Version == 1 {
+			for _, rec := range doc.Entries {
+				byName[rec.Key] = rec
+			}
+		}
+	}
+	names, err := os.ReadDir(filepath.Join(s.dir, "objects"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		k, ok := decodeHexKey(de.Name())
+		if !ok {
+			continue // temp files and strangers are not ours to index
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		e := &entry{bytes: info.Size()}
+		if rec, ok := byName[de.Name()]; ok {
+			e.lastUse = rec.LastUse
+			if e.lastUse > s.clock {
+				s.clock = e.lastUse
+			}
+		}
+		s.entries[k] = e
+		s.bytes += e.bytes
+	}
+	return nil
+}
+
+func decodeHexKey(name string) (Key, bool) {
+	var k Key
+	raw, err := hex.DecodeString(name)
+	if err != nil || len(raw) != len(k) {
+		return k, false
+	}
+	copy(k[:], raw)
+	return k, true
+}
+
+func (s *Store) objectPath(k Key) string {
+	return filepath.Join(s.dir, "objects", k.String())
+}
+
+// Get returns the payload stored under key, or ok=false on a miss. A
+// blob that fails framing or checksum validation is deleted and reported
+// as a miss (and counted corrupt): the caller recomputes and the next
+// Put heals the store.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		s.clock++
+		e.lastUse = s.clock
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.miss.Inc()
+		s.count(func(c *Counters) { c.Misses++ })
+		return nil, false
+	}
+	payload, err := readBlob(s.objectPath(k))
+	if err != nil {
+		s.Discard(k)
+		s.corrupt.Inc()
+		s.miss.Inc()
+		s.count(func(c *Counters) { c.Corrupt++; c.Misses++ })
+		return nil, false
+	}
+	s.hit.Inc()
+	s.count(func(c *Counters) { c.Hits++ })
+	return payload, true
+}
+
+// Put stores payload under key, atomically (write to a temp file in the
+// same directory, fsync, rename), then evicts least-recently-used blobs
+// until the byte cap holds. A payload larger than the whole cap is not
+// stored. Put overwrites an existing blob under the same key.
+func (s *Store) Put(k Key, payload []byte) error {
+	blobLen := int64(blobHdrLen + len(payload))
+	if blobLen > s.capBytes {
+		s.uncacheable.Inc()
+		s.count(func(c *Counters) { c.Uncacheable++ })
+		return nil
+	}
+	if err := writeBlobAtomic(s.objectPath(k), payload); err != nil {
+		return fmt.Errorf("store: put %s: %w", k, err)
+	}
+	s.mu.Lock()
+	s.clock++
+	if old, ok := s.entries[k]; ok {
+		s.bytes -= old.bytes
+	}
+	s.entries[k] = &entry{bytes: blobLen, lastUse: s.clock}
+	s.bytes += blobLen
+	s.counters.Puts++
+	s.evictOverLocked()
+	s.publishLocked()
+	err := s.writeIndexLocked()
+	s.mu.Unlock()
+	s.put.Inc()
+	return err
+}
+
+// Discard removes the blob under key, if present. Used internally for
+// corrupt blobs and by typed loaders whose payload fails to decode.
+func (s *Store) Discard(k Key) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.bytes -= e.bytes
+		delete(s.entries, k)
+	}
+	s.publishLocked()
+	s.writeIndexLocked() //nolint:errcheck // best effort; Close flushes again
+	s.mu.Unlock()
+	os.Remove(s.objectPath(k)) //nolint:errcheck // already unindexed
+}
+
+// evictOverLocked removes least-recently-used entries until the cap
+// holds. Caller holds s.mu.
+func (s *Store) evictOverLocked() {
+	for s.bytes > s.capBytes && len(s.entries) > 0 {
+		var victim Key
+		var ve *entry
+		for k, e := range s.entries {
+			if ve == nil || e.lastUse < ve.lastUse {
+				victim, ve = k, e
+			}
+		}
+		delete(s.entries, victim)
+		s.bytes -= ve.bytes
+		s.counters.Evictions++
+		s.evict.Inc()
+		os.Remove(s.objectPath(victim)) //nolint:errcheck // best effort
+	}
+}
+
+func (s *Store) publishLocked() {
+	s.counters.Bytes = s.bytes
+	s.bytesGauge.Set(s.bytes)
+	s.entriesGauge.Set(int64(len(s.entries)))
+}
+
+func (s *Store) count(f func(*Counters)) {
+	s.mu.Lock()
+	f(&s.counters)
+	s.mu.Unlock()
+}
+
+// Counters snapshots the store's decision counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	c.Bytes = s.bytes
+	return c
+}
+
+// Bytes reports current on-disk occupancy (framing included).
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Len reports the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Close flushes the LRU index. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeIndexLocked()
+}
+
+// writeIndexLocked persists the index atomically. Caller holds s.mu.
+func (s *Store) writeIndexLocked() error {
+	doc := indexDoc{Version: 1, Entries: make([]indexRecord, 0, len(s.entries))}
+	for k, e := range s.entries {
+		doc.Entries = append(doc.Entries, indexRecord{Key: k.String(), Bytes: e.bytes, LastUse: e.lastUse})
+	}
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	return renameInto(filepath.Join(s.dir, indexFile), data)
+}
+
+// readBlob reads and validates one framed blob.
+func readBlob(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < blobHdrLen || string(data[:4]) != blobMagic {
+		return nil, fmt.Errorf("store: bad blob framing")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != blobVersion {
+		return nil, fmt.Errorf("store: blob version %d", v)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], data[8:8+sha256.Size])
+	n := binary.LittleEndian.Uint64(data[8+sha256.Size:])
+	payload := data[blobHdrLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("store: blob truncated: %d of %d payload bytes", len(payload), n)
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("store: blob checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeBlobAtomic frames and writes a payload via temp-file + rename.
+func writeBlobAtomic(path string, payload []byte) error {
+	buf := make([]byte, blobHdrLen, blobHdrLen+len(payload))
+	copy(buf, blobMagic)
+	binary.LittleEndian.PutUint32(buf[4:], blobVersion)
+	sum := sha256.Sum256(payload)
+	copy(buf[8:], sum[:])
+	binary.LittleEndian.PutUint64(buf[8+sha256.Size:], uint64(len(payload)))
+	buf = append(buf, payload...)
+	return renameInto(path, buf)
+}
+
+// renameInto writes data to a unique temp file in path's directory,
+// syncs it, and renames it over path — the classic atomic publish.
+func renameInto(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			return os.Rename(tmp, path)
+		}
+	} else {
+		f.Close() //nolint:errcheck // write already failed
+	}
+	os.Remove(tmp) //nolint:errcheck // best effort
+	return err
+}

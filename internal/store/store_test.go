@@ -1,0 +1,359 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testKey derives a distinct key for one test blob.
+func testKey(s string) Key { return Key(sha256.Sum256([]byte(s))) }
+
+// payload builds a deterministic n-byte payload seeded by s.
+func payload(s string, n int) []byte {
+	out := make([]byte, n)
+	seed := sha256.Sum256([]byte(s))
+	for i := range out {
+		out[i] = seed[i%len(seed)]
+	}
+	return out
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k := testKey("round-trip")
+	want := payload("round-trip", 1000)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get: ok=%v, %d bytes, want %d", ok, len(got), len(want))
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 {
+		t.Fatalf("counters = %+v, want 1 hit, 1 miss, 1 put", c)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(blobHdrLen+len(want)) {
+		t.Fatalf("Len=%d Bytes=%d, want 1 blob of %d bytes", s.Len(), s.Bytes(), blobHdrLen+len(want))
+	}
+}
+
+func TestStoreOverwriteAccountsOnce(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k := testKey("overwrite")
+	if err := s.Put(k, payload("v1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	want := payload("v2", 300)
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Bytes() != int64(blobHdrLen+len(want)) {
+		t.Fatalf("after overwrite: Len=%d Bytes=%d, want 1 blob of %d bytes", s.Len(), s.Bytes(), blobHdrLen+len(want))
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatal("overwrite did not replace the payload")
+	}
+}
+
+func TestStoreLRUEvictionByBytes(t *testing.T) {
+	// Cap that holds exactly two 100-byte payloads (plus framing).
+	blob := int64(blobHdrLen + 100)
+	reg := obs.New()
+	s, err := Open(t.TempDir(), 2*blob, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a, b, c := testKey("a"), testKey("b"), testKey("c")
+	for _, k := range []Key{a, b} {
+		if err := s.Put(k, payload(k.String(), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a missed before eviction")
+	}
+	if err := s.Put(c, payload("c", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Fatal("b survived although least recently used")
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a evicted although recently used")
+	}
+	if _, ok := s.Get(c); !ok {
+		t.Fatal("c evicted although just written")
+	}
+	if got := s.Counters().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := reg.Counters()["store.evict"]; got != 1 {
+		t.Fatalf("store.evict = %d, want 1", got)
+	}
+	if s.Bytes() > 2*blob {
+		t.Fatalf("occupancy %d exceeds cap %d", s.Bytes(), 2*blob)
+	}
+	// The victim's file is gone from disk, not just from the index.
+	if _, err := os.Stat(s.objectPath(b)); !os.IsNotExist(err) {
+		t.Fatalf("victim blob still on disk: %v", err)
+	}
+}
+
+func TestStoreUncacheableOversizedBlob(t *testing.T) {
+	s, err := Open(t.TempDir(), 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k := testKey("huge")
+	if err := s.Put(k, payload("huge", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("oversized blob was stored")
+	}
+	c := s.Counters()
+	if c.Uncacheable != 1 || c.Puts != 0 {
+		t.Fatalf("counters = %+v, want 1 uncacheable, 0 puts", c)
+	}
+}
+
+func TestStoreCorruptBlobIsMissThenHeals(t *testing.T) {
+	reg := obs.New()
+	s, err := Open(t.TempDir(), 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	k := testKey("corrupt")
+	want := payload("corrupt", 500)
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte behind the store's back.
+	path := s.objectPath(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if got := s.Counters().Corrupt; got != 1 {
+		t.Fatalf("corrupt = %d, want 1", got)
+	}
+	if got := reg.Counters()["store.corrupt"]; got != 1 {
+		t.Fatalf("store.corrupt = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob not deleted: %v", err)
+	}
+	// The next Put heals the store.
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatal("store did not heal after recompute")
+	}
+}
+
+func TestStoreReopenServesAndKeepsRecency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := testKey("a"), testKey("b")
+	if err := s.Put(a, payload("a", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, payload("b", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(a); !ok { // a is now the most recently used
+		t.Fatal("a missed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a cap that forces one eviction at Open: the persisted
+	// recency must make b (not a) the victim.
+	blob := int64(blobHdrLen + 100)
+	s2, err := Open(dir, blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(b); ok {
+		t.Fatal("b survived reopen eviction although least recently used")
+	}
+	got, ok := s2.Get(a)
+	if !ok || !bytes.Equal(got, payload("a", 100)) {
+		t.Fatal("a lost across reopen")
+	}
+}
+
+func TestStoreOpenAdoptsUnindexedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("orphan")
+	want := payload("orphan", 200)
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between blob rename and index write.
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatal("unindexed blob not adopted on reopen")
+	}
+}
+
+func TestStoreOpenDropsVanishedEntriesAndStrangers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("vanish")
+	if err := s.Put(k, payload("vanish", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The blob vanishes behind the index's back; a stranger file appears.
+	if err := os.Remove(s.objectPath(k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "objects", "README"), []byte("not a blob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 || s2.Bytes() != 0 {
+		t.Fatalf("reopened store indexed %d blobs / %d bytes, want empty", s2.Len(), s2.Bytes())
+	}
+	if _, ok := s2.Get(k); ok {
+		t.Fatal("vanished blob served as a hit")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := testKey(fmt.Sprintf("blob-%d", i))
+				want := payload(k.String(), 64+i)
+				if err := s.Put(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(k); !ok || !bytes.Equal(got, want) {
+					t.Errorf("worker %d: blob %d corrupted under concurrency", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+}
+
+func TestReadBlobRejectsBadFraming(t *testing.T) {
+	dir := t.TempDir()
+	want := payload("frame", 100)
+	path := filepath.Join(dir, "blob")
+	if err := writeBlobAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:blobHdrLen-1],
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad version":  append(append([]byte{}, good[:4]...), append([]byte{0xff, 0xff, 0xff, 0xff}, good[8:]...)...),
+		"truncated":    good[:len(good)-1],
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, "case")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readBlob(p); err == nil {
+			t.Errorf("%s: readBlob accepted a malformed blob", name)
+		}
+	}
+	// The untouched original still reads back.
+	got, err := readBlob(path)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("valid blob failed to read: %v", err)
+	}
+}
